@@ -1,0 +1,844 @@
+module Make (P : Protocol.S) = struct
+  module C = Config.Make (P)
+
+  module Explore = struct
+    module Tbl = Hashtbl.Make (struct
+      type t = C.t
+
+      let equal = C.equal
+
+      let hash = C.hash
+    end)
+
+    type graph = {
+      mutable configs : C.t array;
+      mutable count : int;
+      ids : int Tbl.t;
+      mutable succs : (C.event * int) list array;
+      mutable parents : (int * C.event option) array;  (* (parent, edge); root has (-1, None) *)
+      mutable expanded_flags : Bytes.t;
+      mutable complete_flag : bool;
+      mutable edges : int;
+    }
+
+    let ensure_capacity g needed =
+      let cap = Array.length g.configs in
+      if needed > cap then begin
+        let ncap = max 64 (max needed (2 * cap)) in
+        let grow_arr a fill =
+          let na = Array.make ncap fill in
+          Array.blit a 0 na 0 g.count;
+          na
+        in
+        g.configs <- grow_arr g.configs g.configs.(0);
+        g.succs <- grow_arr g.succs [];
+        g.parents <- grow_arr g.parents (-1, None);
+        let nb = Bytes.make ncap '\000' in
+        Bytes.blit g.expanded_flags 0 nb 0 g.count;
+        g.expanded_flags <- nb
+      end
+
+    let intern g cfg ~parent =
+      match Tbl.find_opt g.ids cfg with
+      | Some id -> Some id
+      | None ->
+          ensure_capacity g (g.count + 1);
+          let id = g.count in
+          g.configs.(id) <- cfg;
+          g.parents.(id) <- parent;
+          g.succs.(id) <- [];
+          Tbl.add g.ids cfg id;
+          g.count <- g.count + 1;
+          Some id
+
+    let explore ?(filter = fun _ -> true) ~max_configs root_cfg =
+      if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
+      let g =
+        {
+          configs = Array.make 64 root_cfg;
+          count = 0;
+          ids = Tbl.create 1024;
+          succs = Array.make 64 [];
+          parents = Array.make 64 (-1, None);
+          expanded_flags = Bytes.make 64 '\000';
+          complete_flag = true;
+          edges = 0;
+        }
+      in
+      ignore (intern g root_cfg ~parent:(-1, None));
+      let queue = Queue.create () in
+      Queue.push 0 queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let cfg = g.configs.(u) in
+        let out = ref [] in
+        List.iter
+          (fun e ->
+            if filter e then begin
+              let cfg' = C.apply cfg e in
+              match Tbl.find_opt g.ids cfg' with
+              | Some v ->
+                  out := (e, v) :: !out;
+                  g.edges <- g.edges + 1
+              | None ->
+                  if g.count >= max_configs then g.complete_flag <- false
+                  else begin
+                    match intern g cfg' ~parent:(u, Some e) with
+                    | Some v ->
+                        out := (e, v) :: !out;
+                        g.edges <- g.edges + 1;
+                        Queue.push v queue
+                    | None -> ()
+                  end
+            end)
+          (C.events cfg);
+        g.succs.(u) <- List.rev !out;
+        Bytes.set g.expanded_flags u '\001'
+      done;
+      g
+
+    let complete g = g.complete_flag
+
+    let size g = g.count
+
+    let root _ = 0
+
+    let config g id = g.configs.(id)
+
+    let id_of g cfg = Tbl.find_opt g.ids cfg
+
+    let succ g id = g.succs.(id)
+
+    let expanded g id = Bytes.get g.expanded_flags id <> '\000'
+
+    let edge_count g = g.edges
+
+    let path_to g id =
+      let rec go acc id =
+        match g.parents.(id) with
+        | -1, _ -> acc
+        | parent, Some e -> go (e :: acc) parent
+        | _, None -> acc
+      in
+      go [] id
+  end
+
+  module Valency = struct
+    type valence = Univalent of Value.t | Bivalent | Undecided_forever
+
+    let equal_valence a b =
+      match (a, b) with
+      | Univalent v, Univalent w -> Value.equal v w
+      | Bivalent, Bivalent | Undecided_forever, Undecided_forever -> true
+      | (Univalent _ | Bivalent | Undecided_forever), _ -> false
+
+    let pp_valence ppf = function
+      | Univalent v -> Format.fprintf ppf "%a-valent" Value.pp v
+      | Bivalent -> Format.fprintf ppf "bivalent"
+      | Undecided_forever -> Format.fprintf ppf "undecided-forever"
+
+    exception Incomplete
+
+    let mask_of_values vs =
+      List.fold_left
+        (fun acc v -> acc lor (match v with Value.Zero -> 1 | Value.One -> 2))
+        0 vs
+
+    let classify g =
+      if not (Explore.complete g) then raise Incomplete;
+      let n = Explore.size g in
+      let masks = Array.make n 0 in
+      let preds = Array.make n [] in
+      for u = 0 to n - 1 do
+        masks.(u) <- mask_of_values (C.decision_values (Explore.config g u));
+        List.iter (fun (_, v) -> preds.(v) <- u :: preds.(v)) (Explore.succ g u)
+      done;
+      let queue = Queue.create () in
+      for u = 0 to n - 1 do
+        if masks.(u) <> 0 then Queue.push u queue
+      done;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun u ->
+            let nm = masks.(u) lor masks.(v) in
+            if nm <> masks.(u) then begin
+              masks.(u) <- nm;
+              Queue.push u queue
+            end)
+          preds.(v)
+      done;
+      Array.map
+        (function
+          | 0 -> Undecided_forever
+          | 1 -> Univalent Value.Zero
+          | 2 -> Univalent Value.One
+          | _ -> Bivalent)
+        masks
+
+    let of_initial ~max_configs inputs =
+      let g = Explore.explore ~max_configs (C.initial inputs) in
+      (classify g).(0)
+  end
+
+  let dot ?valences g =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "digraph flp {\n  rankdir=TB;\n  node [fontsize=9];\n";
+    for id = 0 to Explore.size g - 1 do
+      let cfg = Explore.config g id in
+      let fill =
+        match valences with
+        | None -> "white"
+        | Some v -> (
+            match v.(id) with
+            | Valency.Univalent Value.Zero -> "palegreen"
+            | Valency.Univalent Value.One -> "lightblue"
+            | Valency.Bivalent -> "orange"
+            | Valency.Undecided_forever -> "lightgrey")
+      in
+      let shape = if C.decision_values cfg <> [] then "doubleoctagon" else "ellipse" in
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d [label=\"%d\", style=filled, fillcolor=%s, shape=%s];\n" id
+           id fill shape)
+    done;
+    for id = 0 to Explore.size g - 1 do
+      List.iter
+        (fun (e, t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  c%d -> c%d [label=\"%s\", fontsize=8];\n" id t
+               (String.escaped (Format.asprintf "%a" C.pp_event e))))
+        (Explore.succ g id)
+    done;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+  module Lemma = struct
+    type lemma1_report = { trials : int; holds : int; failures : string list }
+
+    (* Build a random schedule from [cfg] restricted to processes satisfying
+       [allow], of length at most [len]. *)
+    let random_schedule rng cfg ~allow ~len =
+      let rec go acc cfg k =
+        if k = 0 then (List.rev acc, cfg)
+        else begin
+          let candidates =
+            List.filter (fun (e : C.event) -> allow e.dest) (C.events cfg)
+          in
+          match candidates with
+          | [] -> (List.rev acc, cfg)
+          | _ ->
+              let e = List.nth candidates (Sim.Rng.int rng (List.length candidates)) in
+              go (e :: acc) (C.apply cfg e) (k - 1)
+        end
+      in
+      go [] cfg len
+
+    let try_apply cfg schedule =
+      try Some (C.apply_schedule cfg schedule) with C.Not_applicable _ -> None
+
+    let check_lemma1 ~seed ~trials ~depth inputs =
+      let rng = Sim.Rng.create seed in
+      let holds = ref 0 in
+      let failures = ref [] in
+      for trial = 1 to trials do
+        (* Walk to a random reachable configuration. *)
+        let steps = Sim.Rng.int rng (depth + 1) in
+        let _, c = random_schedule rng (C.initial inputs) ~allow:(fun _ -> true) ~len:steps in
+        (* Random partition of the processes into two disjoint camps. *)
+        let camp = Array.init P.n (fun _ -> Sim.Rng.bool rng) in
+        let s1, c1 = random_schedule rng c ~allow:(fun p -> camp.(p)) ~len:(1 + Sim.Rng.int rng depth) in
+        let s2, c2 = random_schedule rng c ~allow:(fun p -> not camp.(p)) ~len:(1 + Sim.Rng.int rng depth) in
+        let fail reason =
+          failures :=
+            Printf.sprintf "trial %d: %s (|s1|=%d, |s2|=%d)" trial reason (List.length s1)
+              (List.length s2)
+            :: !failures
+        in
+        match (try_apply c1 s2, try_apply c2 s1) with
+        | Some c12, Some c21 ->
+            if C.equal c12 c21 then incr holds
+            else fail "application orders disagree on the final configuration"
+        | None, _ -> fail "s2 not applicable after s1"
+        | _, None -> fail "s1 not applicable after s2"
+      done;
+      { trials; holds = !holds; failures = List.rev !failures }
+
+    type initial_class = { inputs : Value.t array; valence : Valency.valence option }
+
+    let all_inputs () =
+      List.init (1 lsl P.n) (fun bits ->
+          Array.init P.n (fun pid ->
+              if bits land (1 lsl pid) <> 0 then Value.One else Value.Zero))
+
+    let check_lemma2 ~max_configs =
+      List.map
+        (fun inputs ->
+          let valence =
+            try Some (Valency.of_initial ~max_configs inputs)
+            with Valency.Incomplete -> None
+          in
+          { inputs; valence })
+        (all_inputs ())
+
+    let bivalent_initials ~max_configs =
+      check_lemma2 ~max_configs
+      |> List.filter_map (fun cls ->
+             match cls.valence with Some Valency.Bivalent -> Some cls.inputs | _ -> None)
+
+    let adjacent_opposite_pairs ~max_configs =
+      let classes = check_lemma2 ~max_configs in
+      let valence_of inputs =
+        List.find_map
+          (fun cls -> if cls.inputs = inputs then cls.valence else None)
+          classes
+      in
+      List.concat_map
+        (fun cls ->
+          match cls.valence with
+          | Some (Valency.Univalent v) ->
+              List.filter_map
+                (fun pid ->
+                  (* flip one input; consider each unordered pair once *)
+                  if Value.equal cls.inputs.(pid) Value.Zero then begin
+                    let flipped = Array.copy cls.inputs in
+                    flipped.(pid) <- Value.One;
+                    match valence_of flipped with
+                    | Some (Valency.Univalent w) when not (Value.equal v w) ->
+                        Some (cls.inputs, flipped, pid)
+                    | _ -> None
+                  end
+                  else None)
+                (List.init P.n Fun.id)
+          | Some (Valency.Bivalent | Valency.Undecided_forever) | None -> [])
+        classes
+
+    type lemma3_stats = {
+      bivalent_configs : int;
+      pairs_checked : int;
+      pairs_holding : int;
+      counterexamples : (int * C.event) list;
+    }
+
+    let e_successor g v e =
+      List.find_map
+        (fun (ev, t) -> if C.event_equal ev e then Some t else None)
+        (Explore.succ g v)
+
+    (* Does D = e(reachable-from-[start]-without-[e]) contain a bivalent
+       configuration?  BFS with early exit. *)
+    let d_contains_bivalent g valences start e =
+      let seen = Array.make (Explore.size g) false in
+      let queue = Queue.create () in
+      seen.(start) <- true;
+      Queue.push start queue;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        (match e_successor g v e with
+        | Some t when Valency.equal_valence valences.(t) Valency.Bivalent -> found := true
+        | Some _ | None -> ());
+        if not !found then
+          List.iter
+            (fun (ev, t) ->
+              if (not (C.event_equal ev e)) && not seen.(t) then begin
+                seen.(t) <- true;
+                Queue.push t queue
+              end)
+            (Explore.succ g v)
+      done;
+      !found
+
+    let check_lemma3 ?(max_pairs = max_int) ~max_configs inputs =
+      let g = Explore.explore ~max_configs (C.initial inputs) in
+      let valences = Valency.classify g in
+      let bivalent_ids =
+        List.filter
+          (fun id -> Valency.equal_valence valences.(id) Valency.Bivalent)
+          (List.init (Explore.size g) (fun i -> i))
+      in
+      let checked = ref 0 in
+      let holding = ref 0 in
+      let counterexamples = ref [] in
+      (try
+         List.iter
+           (fun id ->
+             List.iter
+               (fun (e, _) ->
+                 if !checked >= max_pairs then raise Exit;
+                 incr checked;
+                 if d_contains_bivalent g valences id e then incr holding
+                 else if List.length !counterexamples < 16 then
+                   counterexamples := (id, e) :: !counterexamples)
+               (Explore.succ g id))
+           bivalent_ids
+       with Exit -> ());
+      {
+        bivalent_configs = List.length bivalent_ids;
+        pairs_checked = !checked;
+        pairs_holding = !holding;
+        counterexamples = List.rev !counterexamples;
+      }
+
+    type lemma3_cases = {
+      failing_pairs : int;
+      with_neighbor_witness : int;
+      case1 : int;
+      case2 : int;
+      uniform_d : int;
+    }
+
+    (* Members of the avoid-[e] region from [start]. *)
+    let region g start e =
+      let seen = Array.make (Explore.size g) false in
+      let queue = Queue.create () in
+      seen.(start) <- true;
+      Queue.push start queue;
+      let members = ref [] in
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        members := v :: !members;
+        List.iter
+          (fun (ev, t) ->
+            if (not (C.event_equal ev e)) && not seen.(t) then begin
+              seen.(t) <- true;
+              Queue.push t queue
+            end)
+          (Explore.succ g v)
+      done;
+      !members
+
+    let lemma3_case_analysis ?(max_pairs = max_int) ~max_configs inputs =
+      let g = Explore.explore ~max_configs (C.initial inputs) in
+      let valences = Valency.classify g in
+      let bivalent_ids =
+        List.filter
+          (fun id -> Valency.equal_valence valences.(id) Valency.Bivalent)
+          (List.init (Explore.size g) (fun i -> i))
+      in
+      let checked = ref 0 in
+      let failing = ref 0 in
+      let witnessed = ref 0 in
+      let case1 = ref 0 in
+      let case2 = ref 0 in
+      let uniform = ref 0 in
+      let e_valence v e =
+        Option.map (fun t -> valences.(t)) (e_successor g v e)
+      in
+      (try
+         List.iter
+           (fun id ->
+             List.iter
+               (fun (e, _) ->
+                 if !checked >= max_pairs then raise Exit;
+                 incr checked;
+                 if not (d_contains_bivalent g valences id e) then begin
+                   incr failing;
+                   let members = region g id e in
+                   (* the proof's pivot: one step inside the region flips the
+                      e-successor's univalence *)
+                   let witness =
+                     List.find_map
+                       (fun u ->
+                         match e_valence u e with
+                         | Some (Valency.Univalent a) ->
+                             List.find_map
+                               (fun ((e' : C.event), t) ->
+                                 if C.event_equal e' e then None
+                                 else
+                                   match e_valence t e with
+                                   | Some (Valency.Univalent b)
+                                     when not (Value.equal a b) ->
+                                       Some e'.dest
+                                   | Some _ | None -> None)
+                               (Explore.succ g u)
+                         | Some _ | None -> None)
+                       members
+                   in
+                   match witness with
+                   | Some p' ->
+                       incr witnessed;
+                       if p' = e.dest then incr case2 else incr case1
+                   | None ->
+                       (* no pivot: is all of D univalent for one value? *)
+                       let values =
+                         List.filter_map
+                           (fun u ->
+                             match e_valence u e with
+                             | Some (Valency.Univalent v) -> Some v
+                             | Some _ | None -> None)
+                           members
+                         |> List.sort_uniq Value.compare
+                       in
+                       if List.length values <= 1 then incr uniform
+                 end)
+               (Explore.succ g id))
+           bivalent_ids
+       with Exit -> ());
+      {
+        failing_pairs = !failing;
+        with_neighbor_witness = !witnessed;
+        case1 = !case1;
+        case2 = !case2;
+        uniform_d = !uniform;
+      }
+
+    type correctness = {
+      no_conflicting_decisions : bool;
+      conflict_witness : (Value.t array * C.event list) option;
+      reachable_decision_values : Value.t list;
+      exhaustive : bool;
+    }
+
+    let check_partial_correctness ~max_configs =
+      let conflict = ref None in
+      let values = ref [] in
+      let exhaustive = ref true in
+      List.iter
+        (fun inputs ->
+          let g = Explore.explore ~max_configs (C.initial inputs) in
+          if not (Explore.complete g) then exhaustive := false;
+          for id = 0 to Explore.size g - 1 do
+            let dv = C.decision_values (Explore.config g id) in
+            values := dv @ !values;
+            if List.length dv > 1 && !conflict = None then
+              conflict := Some (inputs, Explore.path_to g id)
+          done)
+        (all_inputs ());
+      {
+        no_conflicting_decisions = !conflict = None;
+        conflict_witness = !conflict;
+        reachable_decision_values = List.sort_uniq Value.compare !values;
+        exhaustive = !exhaustive;
+      }
+
+    let find_blocking_run ~max_configs ~faulty inputs =
+      let g =
+        Explore.explore
+          ~filter:(fun (e : C.event) -> e.dest <> faulty)
+          ~max_configs (C.initial inputs)
+      in
+      let n = Explore.size g in
+      (* Backward reachability from decision-bearing configurations. *)
+      let preds = Array.make n [] in
+      for u = 0 to n - 1 do
+        List.iter (fun (_, v) -> preds.(v) <- u :: preds.(v)) (Explore.succ g u)
+      done;
+      let can_decide = Array.make n false in
+      let queue = Queue.create () in
+      for u = 0 to n - 1 do
+        if C.decision_values (Explore.config g u) <> [] then begin
+          can_decide.(u) <- true;
+          Queue.push u queue
+        end
+      done;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun u ->
+            if not can_decide.(u) then begin
+              can_decide.(u) <- true;
+              Queue.push u queue
+            end)
+          preds.(v)
+      done;
+      let witness = ref None in
+      (try
+         for u = 0 to n - 1 do
+           (* Frontier nodes of a truncated graph have unknown futures; only
+              expanded dead nodes are sound witnesses. *)
+           if (not can_decide.(u)) && Explore.expanded g u then begin
+             witness := Some (Explore.path_to g u);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      match !witness with
+      | Some schedule -> `Blocking_witness schedule
+      | None -> `Decision_always_reachable
+
+    (* Iterative Tarjan over the explored graph restricted to nodes
+       satisfying [keep] and edges satisfying [keep] at both ends. *)
+    let sccs_of_subgraph g keep =
+      let n = Explore.size g in
+      let index = Array.make n (-1) in
+      let lowlink = Array.make n 0 in
+      let on_stack = Array.make n false in
+      let stack = ref [] in
+      let counter = ref 0 in
+      let components = ref [] in
+      let succs v =
+        List.filter_map
+          (fun (_, t) -> if keep t then Some t else None)
+          (Explore.succ g v)
+      in
+      let visit root =
+        let frames = ref [ (root, ref (succs root)) ] in
+        index.(root) <- !counter;
+        lowlink.(root) <- !counter;
+        incr counter;
+        stack := root :: !stack;
+        on_stack.(root) <- true;
+        while !frames <> [] do
+          match !frames with
+          | [] -> ()
+          | (v, cursor) :: rest -> (
+              match !cursor with
+              | w :: more ->
+                  cursor := more;
+                  if index.(w) = -1 then begin
+                    index.(w) <- !counter;
+                    lowlink.(w) <- !counter;
+                    incr counter;
+                    stack := w :: !stack;
+                    on_stack.(w) <- true;
+                    frames := (w, ref (succs w)) :: !frames
+                  end
+                  else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+              | [] ->
+                  frames := rest;
+                  (match rest with
+                  | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                  | [] -> ());
+                  if lowlink.(v) = index.(v) then begin
+                    let comp = ref [] in
+                    let break = ref false in
+                    while not !break do
+                      match !stack with
+                      | [] -> break := true
+                      | w :: tl ->
+                          stack := tl;
+                          on_stack.(w) <- false;
+                          comp := w :: !comp;
+                          if w = v then break := true
+                    done;
+                    components := !comp :: !components
+                  end)
+        done
+      in
+      for v = 0 to n - 1 do
+        if keep v && index.(v) = -1 then visit v
+      done;
+      !components
+
+    let find_fair_nondeciding_cycle ~max_configs ~faulty inputs =
+      let filter =
+        match faulty with
+        | Some p -> fun (e : C.event) -> e.dest <> p
+        | None -> fun _ -> true
+      in
+      let g = Explore.explore ~filter ~max_configs (C.initial inputs) in
+      let n = Explore.size g in
+      let undecided =
+        Array.init n (fun id -> C.decision_values (Explore.config g id) = [])
+      in
+      (* Only fully expanded nodes are sound cycle members. *)
+      let keep id = undecided.(id) && Explore.expanded g id in
+      let live pid = match faulty with Some p -> pid <> p | None -> true in
+      let comps = sccs_of_subgraph g keep in
+      let in_comp = Array.make n false in
+      let is_fair comp =
+        List.iter (fun v -> in_comp.(v) <- true) comp;
+        let internal_edges =
+          List.concat_map
+            (fun u ->
+              List.filter_map
+                (fun (e, t) -> if in_comp.(t) then Some e else None)
+                (Explore.succ g u))
+            comp
+        in
+        let nontrivial =
+          match comp with [ v ] -> List.exists (fun (_, t) -> t = v) (Explore.succ g v) | _ -> true
+        in
+        let every_live_steps =
+          List.for_all
+            (fun pid ->
+              (not (live pid))
+              || List.exists (fun (e : C.event) -> e.dest = pid) internal_edges)
+            (List.init P.n Fun.id)
+        in
+        let pendings_delivered =
+          List.for_all
+            (fun u ->
+              List.for_all
+                (fun (dest, msg, _) ->
+                  (not (live dest))
+                  || List.exists
+                       (fun e -> C.event_equal e (C.deliver dest msg))
+                       internal_edges)
+                (C.pending (Explore.config g u)))
+            comp
+        in
+        let ok = nontrivial && every_live_steps && pendings_delivered in
+        List.iter (fun v -> in_comp.(v) <- false) comp;
+        ok
+      in
+      match List.find_opt is_fair comps with
+      | Some comp ->
+          let entry = List.fold_left min max_int comp in
+          `Fair_cycle (Explore.path_to g entry)
+      | None -> `No_fair_cycle
+
+    type verdict = {
+      partially_correct : bool;
+      correctness_detail : correctness;
+      has_bivalent_initial : bool;
+      blocking : (int * Value.t array * C.event list) option;
+      fair_cycle : (int option * Value.t array * C.event list) option;
+    }
+
+    let classify ~max_configs =
+      let detail = check_partial_correctness ~max_configs in
+      let partially_correct =
+        detail.no_conflicting_decisions
+        && List.length detail.reachable_decision_values = 2
+      in
+      let has_bivalent_initial = bivalent_initials ~max_configs <> [] in
+      let blocking = ref None in
+      (try
+         List.iter
+           (fun inputs ->
+             for faulty = 0 to P.n - 1 do
+               match find_blocking_run ~max_configs ~faulty inputs with
+               | `Blocking_witness schedule ->
+                   blocking := Some (faulty, inputs, schedule);
+                   raise Exit
+               | `Decision_always_reachable -> ()
+             done)
+           (all_inputs ())
+       with Exit -> ());
+      let fair_cycle = ref None in
+      (try
+         List.iter
+           (fun inputs ->
+             List.iter
+               (fun faulty ->
+                 match find_fair_nondeciding_cycle ~max_configs ~faulty inputs with
+                 | `Fair_cycle schedule ->
+                     fair_cycle := Some (faulty, inputs, schedule);
+                     raise Exit
+                 | `No_fair_cycle -> ())
+               (None :: List.init P.n (fun p -> Some p)))
+           (all_inputs ())
+       with Exit -> ());
+      {
+        partially_correct;
+        correctness_detail = detail;
+        has_bivalent_initial;
+        blocking = !blocking;
+        fair_cycle = !fair_cycle;
+      }
+  end
+
+  module Adversary = struct
+    type stage = { process : int; forced_event : C.event; schedule : C.event list }
+
+    type outcome = Completed | Stuck of { stage : int; reason : string }
+
+    type run = { stages : stage list; steps : int; outcome : outcome }
+
+    (* Shortest schedule sigma from [start] avoiding [e] such that
+       [e (sigma start)] is bivalent, returned as the event path; [None] when
+       no node of the avoid-e region has a bivalent e-successor. *)
+    let find_stage_schedule g valences start e =
+      let n = Explore.size g in
+      let parent = Array.make n (-2) in
+      (* -2 unseen, -1 root *)
+      let parent_event = Array.make n None in
+      let queue = Queue.create () in
+      parent.(start) <- -1;
+      Queue.push start queue;
+      let target = ref None in
+      while !target = None && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        (match Lemma.e_successor g v e with
+        | Some t when Valency.equal_valence valences.(t) Valency.Bivalent ->
+            target := Some v
+        | Some _ | None -> ());
+        if !target = None then
+          List.iter
+            (fun (ev, t) ->
+              if (not (C.event_equal ev e)) && parent.(t) = -2 then begin
+                parent.(t) <- v;
+                parent_event.(t) <- Some ev;
+                Queue.push t queue
+              end)
+            (Explore.succ g v)
+      done;
+      match !target with
+      | None -> None
+      | Some v ->
+          let rec build acc v =
+            if parent.(v) = -1 then acc
+            else
+              match parent_event.(v) with
+              | Some ev -> build (ev :: acc) parent.(v)
+              | None -> acc
+          in
+          Some (build [] v)
+
+    (* Remove the first pending entry matching a delivery event. *)
+    let rec remove_pending e = function
+      | [] -> invalid_arg "Adversary: delivered message not in pending list"
+      | (dest, msg) :: rest ->
+          if
+            dest = (e : C.event).dest
+            && match e.msg with Some m -> P.compare_msg m msg = 0 | None -> false
+          then rest
+          else (dest, msg) :: remove_pending e rest
+
+    let run ~max_configs ~stages inputs =
+      let g = Explore.explore ~max_configs (C.initial inputs) in
+      let valences = Valency.classify g in
+      if not (Valency.equal_valence valences.(0) Valency.Bivalent) then
+        invalid_arg "Adversary.run: initial configuration is not bivalent";
+      let current_id = ref 0 in
+      let current_cfg = ref (Explore.config g 0) in
+      let queue = ref (List.init P.n (fun i -> i)) in
+      let pending = ref [] in
+      let steps = ref 0 in
+      let done_stages = ref [] in
+      let outcome = ref Completed in
+      (try
+         for stage_no = 1 to stages do
+           let p, rest =
+             match !queue with [] -> assert false | p :: rest -> (p, rest)
+           in
+           let forced =
+             match List.find_opt (fun (dest, _) -> dest = p) !pending with
+             | Some (_, msg) -> C.deliver p msg
+             | None -> C.null_event p
+           in
+           match find_stage_schedule g valences !current_id forced with
+           | None ->
+               outcome :=
+                 Stuck
+                   {
+                     stage = stage_no;
+                     reason =
+                       Format.asprintf
+                         "no schedule ending with %a reaches a bivalent configuration \
+                          (Lemma 3 hypothesis fails: protocol is not totally correct here)"
+                         C.pp_event forced;
+                   };
+               raise Exit
+           | Some prefix ->
+               let schedule = prefix @ [ forced ] in
+               List.iter
+                 (fun (e : C.event) ->
+                   let cfg', sends = C.apply_with_sends !current_cfg e in
+                   if e.msg <> None then pending := remove_pending e !pending;
+                   pending := !pending @ sends;
+                   current_cfg := cfg';
+                   incr steps)
+                 schedule;
+               (match Explore.id_of g !current_cfg with
+               | Some id -> current_id := id
+               | None -> assert false);
+               assert (Valency.equal_valence valences.(!current_id) Valency.Bivalent);
+               done_stages := { process = p; forced_event = forced; schedule } :: !done_stages;
+               queue := rest @ [ p ]
+         done
+       with Exit -> ());
+      { stages = List.rev !done_stages; steps = !steps; outcome = !outcome }
+  end
+end

@@ -1,0 +1,274 @@
+(** Explicit-state analysis of an FLP consensus protocol.
+
+    This functor is the executable counterpart of the paper's §3 proof
+    machinery.  For a protocol with a finite reachable configuration space it
+    can:
+
+    - enumerate the reachable configuration graph ({!Make.Explore});
+    - classify every configuration as 0-valent, 1-valent, bivalent, or
+      forever-undecided ({!Make.Valency});
+    - check Lemma 1 (commutativity of disjoint schedules), Lemma 2 (existence
+      of a bivalent initial configuration), and Lemma 3 (bivalence is
+      preserved into the set [D]) ({!Make.Lemma});
+    - run the Theorem 1 adversary, which builds an admissible schedule stage
+      by stage while keeping the configuration bivalent
+      ({!Make.Adversary}).
+
+    Because no real protocol satisfies Theorem 1's (contradictory)
+    hypothesis, the lemma checkers double as {e diagnosis} tools: where a
+    lemma's conclusion fails for a concrete protocol, the failure pinpoints
+    which hypothesis — partial correctness, or the guarantee that every
+    admissible run decides — that protocol gives up.  The impossibility
+    theorem says every protocol gives up one of them; {!Make.Lemma.classify}
+    verifies that, protocol by protocol, with witnesses. *)
+
+module Make (P : Protocol.S) : sig
+  module C : Config.S with type state = P.state and type msg = P.msg
+
+  module Explore : sig
+    type graph
+    (** Reachable configuration graph from a root, possibly truncated. *)
+
+    val explore : ?filter:(C.event -> bool) -> max_configs:int -> C.t -> graph
+    (** BFS over configurations.  [filter] restricts which events may be
+        applied (used to exclude a process, or a specific event for the
+        Lemma 3 set [%C]).  Exploration stops interning new configurations
+        once [max_configs] is reached; the result is then {e incomplete}. *)
+
+    val complete : graph -> bool
+
+    val size : graph -> int
+
+    val root : graph -> int
+
+    val config : graph -> int -> C.t
+
+    val id_of : graph -> C.t -> int option
+
+    val succ : graph -> int -> (C.event * int) list
+    (** Outgoing edges of an expanded node (empty for frontier nodes of an
+        incomplete graph). *)
+
+    val expanded : graph -> int -> bool
+
+    val edge_count : graph -> int
+
+    val path_to : graph -> int -> C.event list
+    (** A shortest schedule from the root to the given node. *)
+  end
+
+  module Valency : sig
+    type valence =
+      | Univalent of Value.t
+          (** only one decision value reachable: 0-valent or 1-valent *)
+      | Bivalent  (** both decisions still reachable *)
+      | Undecided_forever
+          (** no reachable configuration has any decision value; cannot occur
+              in a totally correct protocol, but real (blocking) protocols
+              produce it — it is the "window of vulnerability" made visible *)
+
+    val equal_valence : valence -> valence -> bool
+
+    val pp_valence : Format.formatter -> valence -> unit
+
+    exception Incomplete
+    (** Raised when asked to classify a truncated graph: valences computed on
+        a partial state space would be unsound. *)
+
+    val classify : Explore.graph -> valence array
+    (** Valence of every configuration, by fixpoint propagation of reachable
+        decision values.  Requires a complete graph. *)
+
+    val of_initial : max_configs:int -> Value.t array -> valence
+    (** Convenience: explore from the given initial configuration and return
+        its valence. *)
+  end
+
+  val dot : ?valences:Valency.valence array -> Explore.graph -> string
+  (** GraphViz rendering of a (small) configuration graph: nodes are
+      configurations — coloured by valence when provided: green 0-valent,
+      blue 1-valent, orange bivalent, grey undecidable — and edges are
+      events.  Decision-bearing configurations are doubled octagons.  Feed
+      to [dot -Tsvg] to look the impossibility in the eye. *)
+
+  module Lemma : sig
+    (** {2 Lemma 1 — commutativity (Fig. 1)} *)
+
+    type lemma1_report = {
+      trials : int;
+      holds : int;
+      failures : string list;  (** human-readable descriptions, should be [] *)
+    }
+
+    val check_lemma1 :
+      seed:int -> trials:int -> depth:int -> Value.t array -> lemma1_report
+    (** Randomised check: walk to a reachable configuration [C], build two
+        schedules from [C] over disjoint process sets, and verify both
+        application orders are applicable and land in the same
+        configuration.  Lemma 1 is unconditional, so [holds = trials] is
+        expected for {e every} protocol. *)
+
+    (** {2 Lemma 2 — bivalent initial configurations} *)
+
+    val all_inputs : unit -> Value.t array list
+    (** All [2^n] input vectors in binary order. *)
+
+    type initial_class = {
+      inputs : Value.t array;
+      valence : Valency.valence option;  (** [None] if exploration overflowed *)
+    }
+
+    val check_lemma2 : max_configs:int -> initial_class list
+    (** Classify all [2^n] initial configurations. *)
+
+    val bivalent_initials : max_configs:int -> Value.t array list
+
+    val adjacent_opposite_pairs :
+      max_configs:int -> (Value.t array * Value.t array * int) list
+    (** The chain argument inside Lemma 2's proof: pairs of {e adjacent}
+        initial configurations (differing in exactly one process's input)
+        with opposite univalences, as [(inputs0, inputs1, pid)].  When a
+        protocol has no bivalent initial configuration but reaches both
+        decision values, at least one such pair must exist — the pivot the
+        proof kills with a run in which [pid] takes no steps. *)
+
+    (** {2 Lemma 3 — bivalence preserved into [D] (Figs. 2–3)} *)
+
+    type lemma3_stats = {
+      bivalent_configs : int;  (** reachable bivalent configurations *)
+      pairs_checked : int;  (** (configuration, applicable event) pairs *)
+      pairs_holding : int;  (** pairs whose [D] contains a bivalent config *)
+      counterexamples : (int * C.event) list;
+          (** failing pairs (diagnostic of a protocol that is not totally
+              correct); truncated to the first 16 *)
+    }
+
+    val check_lemma3 :
+      ?max_pairs:int -> max_configs:int -> Value.t array -> lemma3_stats
+    (** For each reachable bivalent configuration [C] of the run from the
+        given inputs and each applicable event [e], check that
+        [D = e(%C)] contains a bivalent configuration, where [%C] is the set
+        reachable from [C] without applying [e]. *)
+
+    type lemma3_cases = {
+      failing_pairs : int;
+          (** (C, e) pairs whose [D] contains no bivalent configuration *)
+      with_neighbor_witness : int;
+          (** failing pairs exhibiting the proof's neighbor structure:
+              [C0, C1] in the avoid-[e] region, one step apart, whose
+              [e]-successors are univalent with opposite values *)
+      case1 : int;  (** witnesses with [p' <> p] — the Fig. 2 commutation *)
+      case2 : int;  (** witnesses with [p' = p] — the Fig. 3 deciding-run square *)
+      uniform_d : int;
+          (** failing pairs whose whole [D] is univalent for a single value
+              (no pivot neighbors exist; a pure finite-horizon artifact) *)
+    }
+
+    val lemma3_case_analysis :
+      ?max_pairs:int -> max_configs:int -> Value.t array -> lemma3_cases
+    (** Figures 2 and 3, executably: wherever Lemma 3's conclusion fails
+        (which for a totally correct protocol is everywhere the proof derives
+        its contradiction), find the neighboring configurations with
+        opposite-valent [e]-successors and report which of the proof's two
+        cases each witness lands in. *)
+
+    (** {2 Correctness properties} *)
+
+    type correctness = {
+      no_conflicting_decisions : bool;
+          (** condition (1) of partial correctness, checked over every
+              configuration reachable from every initial configuration *)
+      conflict_witness : (Value.t array * C.event list) option;
+          (** inputs and schedule reaching a configuration with two decision
+              values *)
+      reachable_decision_values : Value.t list;
+          (** condition (2) needs both [0] and [1] here *)
+      exhaustive : bool;
+          (** [false] when some exploration overflowed [max_configs], in
+              which case a clean bill of health is only partial *)
+    }
+
+    val check_partial_correctness : max_configs:int -> correctness
+
+    val find_blocking_run :
+      max_configs:int ->
+      faulty:int ->
+      Value.t array ->
+      [ `Blocking_witness of C.event list | `Decision_always_reachable ]
+    (** Search for an admissible non-deciding run with [faulty] taking no
+        steps: a schedule after which {e no} continuation avoiding [faulty]
+        can reach any decision.  Any fair extension of the witness schedule
+        is an admissible non-deciding run. *)
+
+    val find_fair_nondeciding_cycle :
+      max_configs:int ->
+      faulty:int option ->
+      Value.t array ->
+      [ `Fair_cycle of C.event list | `No_fair_cycle ]
+    (** The other face of non-termination — Theorem 1's own mode: a fair run
+        that dodges forever a decision that {e remains reachable}.  For a
+        finite protocol this is a cycle of undecided configurations in which
+        every live process takes a step and every pending message addressed
+        to a live process is delivered (buffer contents repeat around a
+        cycle, so cycling forever starves nothing).  Returns a schedule from
+        the initial configuration to a configuration on such a cycle.  With
+        [faulty = None] the witness is a fair non-deciding run with
+        {e zero} failures.  Detection is exact on a complete exploration:
+        it searches the strongly connected components of the undecided
+        subgraph for one satisfying both fairness conditions. *)
+
+    (** {2 The impossibility trichotomy} *)
+
+    type verdict = {
+      partially_correct : bool;
+      correctness_detail : correctness;
+      has_bivalent_initial : bool;
+      blocking : (int * Value.t array * C.event list) option;
+          (** (faulty process, inputs, witness schedule) for an admissible
+              non-deciding run, when one was found *)
+      fair_cycle : (int option * Value.t array * C.event list) option;
+          (** (faulty process if any, inputs, schedule to the cycle) for a
+              fair non-deciding cycle, when one was found *)
+    }
+
+    val classify : max_configs:int -> verdict
+    (** Theorem 1 in executable form: every protocol must fail partial
+        correctness or admit a non-deciding admissible run — which for a
+        finite protocol is either a {e blocking} run (some reachable
+        configuration has no decision in its future) or a {e fair cycle}
+        (decisions stay reachable but a fair schedule dodges them forever,
+        the adversary's own mode). *)
+  end
+
+  module Adversary : sig
+    (** The Theorem 1 construction: run the system in stages.  A queue of
+        processes is maintained; each stage ends with the head process
+        receiving its earliest pending message (or the null message), after
+        which it moves to the back.  Every stage is steered — using Lemma 3 —
+        to end in a bivalent configuration, so no decision is ever reached,
+        yet any infinite sequence of such stages is admissible. *)
+
+    type stage = {
+      process : int;  (** head of the queue for this stage *)
+      forced_event : C.event;  (** the stage-ending event [e] *)
+      schedule : C.event list;  (** the whole stage schedule, [e] last *)
+    }
+
+    type outcome =
+      | Completed  (** all requested stages ended bivalent *)
+      | Stuck of { stage : int; reason : string }
+          (** no bivalence-preserving continuation existed: the point where
+              this concrete protocol escapes Theorem 1's hypothesis *)
+
+    type run = {
+      stages : stage list;  (** in execution order *)
+      steps : int;  (** total events applied *)
+      outcome : outcome;
+    }
+
+    val run : max_configs:int -> stages:int -> Value.t array -> run
+    (** Raises [Invalid_argument] if the initial configuration for [inputs]
+        is not bivalent, and {!Valency.Incomplete} if the state space
+        overflows [max_configs]. *)
+  end
+end

@@ -1,0 +1,178 @@
+module type S = sig
+  type state
+
+  type msg
+
+  type t
+
+  type event = { dest : int; msg : msg option }
+
+  exception Not_applicable of string
+
+  exception Write_once_violation of int
+
+  val initial : Value.t array -> t
+
+  val n : int
+
+  val states : t -> state array
+
+  val buffer_size : t -> int
+
+  val pending : t -> (int * msg * int) list
+
+  val null_event : int -> event
+
+  val deliver : int -> msg -> event
+
+  val applicable : t -> event -> bool
+
+  val events : t -> event list
+
+  val event_equal : event -> event -> bool
+
+  val apply : t -> event -> t
+
+  val apply_with_sends : t -> event -> t * (int * msg) list
+
+  val apply_schedule : t -> event list -> t
+
+  val schedule_processes : event list -> int list
+
+  val decisions : t -> Value.t option array
+
+  val decision_values : t -> Value.t list
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  val pp_event : Format.formatter -> event -> unit
+end
+
+module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg = struct
+  module MB = Msg_buffer.Make (struct
+    type t = P.msg
+
+    let compare = P.compare_msg
+
+    let hash = P.hash_msg
+
+    let pp = P.pp_msg
+  end)
+
+  type state = P.state
+
+  type msg = P.msg
+
+  type t = { states : P.state array; buffer : MB.t }
+
+  type event = { dest : int; msg : msg option }
+
+  exception Not_applicable of string
+
+  exception Write_once_violation of int
+
+  let n = P.n
+
+  let initial inputs =
+    if Array.length inputs <> P.n then invalid_arg "Config.initial: wrong input count";
+    { states = Array.init P.n (fun pid -> P.init ~pid ~input:inputs.(pid)); buffer = MB.empty }
+
+  let states t = Array.copy t.states
+
+  let buffer_size t = MB.size t.buffer
+
+  let pending t = MB.to_list t.buffer
+
+  let null_event dest = { dest; msg = None }
+
+  let deliver dest m = { dest; msg = Some m }
+
+  let check_dest dest = if dest < 0 || dest >= P.n then invalid_arg "Config: pid out of range"
+
+  let applicable t e =
+    check_dest e.dest;
+    match e.msg with None -> true | Some m -> MB.mem t.buffer ~dest:e.dest m
+
+  let events t =
+    let nulls = List.init P.n null_event in
+    let delivers = List.map (fun (d, m) -> deliver d m) (MB.deliverable t.buffer) in
+    nulls @ delivers
+
+  let event_equal e1 e2 =
+    e1.dest = e2.dest
+    &&
+    match (e1.msg, e2.msg) with
+    | None, None -> true
+    | Some m1, Some m2 -> P.compare_msg m1 m2 = 0
+    | None, Some _ | Some _, None -> false
+
+  let pp_event ppf e =
+    match e.msg with
+    | None -> Format.fprintf ppf "(p%d, _)" e.dest
+    | Some m -> Format.fprintf ppf "(p%d, %a)" e.dest P.pp_msg m
+
+  let apply_with_sends t e =
+    check_dest e.dest;
+    let buffer =
+      match e.msg with
+      | None -> t.buffer
+      | Some m -> (
+          try MB.receive t.buffer ~dest:e.dest m
+          with Not_found ->
+            raise (Not_applicable (Format.asprintf "event %a: message not pending" pp_event e)))
+    in
+    let old_state = t.states.(e.dest) in
+    let new_state, sends = P.step ~pid:e.dest old_state e.msg in
+    (match (P.output old_state, P.output new_state) with
+    | Some v, Some w when Value.equal v w -> ()
+    | Some _, (Some _ | None) -> raise (Write_once_violation e.dest)
+    | None, (Some _ | None) -> ());
+    List.iter (fun (dest, _) -> check_dest dest) sends;
+    let buffer = List.fold_left (fun b (dest, m) -> MB.send b ~dest m) buffer sends in
+    let states = Array.copy t.states in
+    states.(e.dest) <- new_state;
+    ({ states; buffer }, sends)
+
+  let apply t e = fst (apply_with_sends t e)
+
+  let apply_schedule t schedule = List.fold_left apply t schedule
+
+  let schedule_processes schedule =
+    List.sort_uniq compare (List.map (fun e -> e.dest) schedule)
+
+  let decisions t = Array.map P.output t.states
+
+  let decision_values t =
+    let vs =
+      Array.to_list t.states
+      |> List.filter_map P.output
+      |> List.sort_uniq Value.compare
+    in
+    vs
+
+  let equal t1 t2 =
+    MB.equal t1.buffer t2.buffer
+    &&
+    let rec go i = i >= P.n || (P.equal_state t1.states.(i) t2.states.(i) && go (i + 1)) in
+    go 0
+
+  let hash t =
+    let h = ref (MB.hash t.buffer) in
+    Array.iter (fun st -> h := (!h * 1000003) + P.hash_state st) t.states;
+    !h land max_int
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    Array.iteri
+      (fun pid st ->
+        Format.fprintf ppf "p%d: %a%s@," pid P.pp_state st
+          (match P.output st with
+          | Some v -> Printf.sprintf "  [decided %s]" (Value.to_string v)
+          | None -> ""))
+      t.states;
+    Format.fprintf ppf "buffer: %a@]" MB.pp t.buffer
+end

@@ -1,0 +1,83 @@
+(** Configurations, events, and schedules (FLP §2).
+
+    A {e configuration} is the internal state of every process plus the
+    message buffer.  An {e event} [e = (p, m)] is the receipt of message [m]
+    by process [p]; the null event [(p, None)] is always applicable, so "it
+    is always possible for a process to take another step".  A {e schedule}
+    is a sequence of events applied in turn; a finite schedule [s] applied to
+    [C] yields [s(C)], said to be {e reachable} from [C]. *)
+
+module type S = sig
+  type state
+
+  type msg
+
+  type t
+  (** A configuration. *)
+
+  type event = { dest : int; msg : msg option }
+  (** [{dest = p; msg = Some m}] delivers [m] to [p];
+      [{dest = p; msg = None}] is the null step [(p, 0)]. *)
+
+  exception Not_applicable of string
+  (** Raised by [apply] when the event's message is not in the buffer. *)
+
+  exception Write_once_violation of int
+  (** Raised by [apply] when a step would change a written output register —
+      the protocol value is malformed, not the schedule. *)
+
+  val initial : Value.t array -> t
+  (** Initial configuration for the given inputs (one per process); the
+      buffer starts empty. *)
+
+  val n : int
+
+  val states : t -> state array
+
+  val buffer_size : t -> int
+
+  val pending : t -> (int * msg * int) list
+  (** Canonical [(dest, msg, multiplicity)] view of the buffer. *)
+
+  val null_event : int -> event
+
+  val deliver : int -> msg -> event
+
+  val applicable : t -> event -> bool
+
+  val events : t -> event list
+  (** Every applicable event: one null event per process, then one delivery
+      event per distinct pending [(dest, msg)] pair, in canonical order. *)
+
+  val event_equal : event -> event -> bool
+
+  val apply : t -> event -> t
+  (** One step.  Enforces the write-once output register. *)
+
+  val apply_with_sends : t -> event -> t * (int * msg) list
+  (** Like [apply], also reporting the messages the step sent (used by the
+      adversary to maintain its send-order bookkeeping). *)
+
+  val apply_schedule : t -> event list -> t
+
+  val schedule_processes : event list -> int list
+  (** Distinct processes taking steps in a schedule (for Lemma 1's
+      disjointness hypothesis). *)
+
+  val decisions : t -> Value.t option array
+  (** Output register of each process. *)
+
+  val decision_values : t -> Value.t list
+  (** Distinct decided values; the configuration "has decision value v" for
+      each member. *)
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  val pp_event : Format.formatter -> event -> unit
+end
+
+module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg

@@ -1,0 +1,62 @@
+module type MSG = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MSG) = struct
+  module Key = struct
+    type t = int * M.t
+
+    let compare (d1, m1) (d2, m2) =
+      let c = Stdlib.compare (d1 : int) d2 in
+      if c <> 0 then c else M.compare m1 m2
+  end
+
+  module Map = Stdlib.Map.Make (Key)
+
+  type t = int Map.t
+
+  let empty = Map.empty
+
+  let is_empty = Map.is_empty
+
+  let size t = Map.fold (fun _ c acc -> acc + c) t 0
+
+  let count t ~dest msg =
+    match Map.find_opt (dest, msg) t with Some c -> c | None -> 0
+
+  let mem t ~dest msg = count t ~dest msg > 0
+
+  let send t ~dest msg =
+    Map.update (dest, msg) (function None -> Some 1 | Some c -> Some (c + 1)) t
+
+  let receive t ~dest msg =
+    match Map.find_opt (dest, msg) t with
+    | None | Some 0 -> raise Not_found
+    | Some 1 -> Map.remove (dest, msg) t
+    | Some c -> Map.add (dest, msg) (c - 1) t
+
+  let deliverable t = Map.fold (fun (d, m) _ acc -> (d, m) :: acc) t [] |> List.rev
+
+  let for_dest t dest =
+    Map.fold (fun (d, m) _ acc -> if d = dest then m :: acc else acc) t [] |> List.rev
+
+  let to_list t = Map.fold (fun (d, m) c acc -> (d, m, c) :: acc) t [] |> List.rev
+
+  let equal = Map.equal ( = )
+
+  let compare = Map.compare Stdlib.compare
+
+  let hash t =
+    Map.fold (fun (d, m) c acc -> (acc * 31) + (d * 7) + (M.hash m * 13) + c) t 17
+
+  let pp ppf t =
+    Format.fprintf ppf "{";
+    List.iter (fun (d, m, c) -> Format.fprintf ppf " %dx(->%d, %a)" c d M.pp m) (to_list t);
+    Format.fprintf ppf " }"
+end

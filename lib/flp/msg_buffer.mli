@@ -1,0 +1,60 @@
+(** The FLP message buffer: a multiset of [(destination, message)] pairs.
+
+    §2: "The message system maintains a multiset, called the message buffer,
+    of messages that have been sent but not yet delivered."  [send] adds a
+    pair; [receive] removes one occurrence.  The nondeterminism of the real
+    [receive(p)] — which pending message, or the null marker — is not decided
+    here; {!Analysis} enumerates all choices as distinct events.
+
+    The representation is canonical (a sorted map to occurrence counts), so
+    two buffers holding the same multiset are structurally equal regardless
+    of send order.  That canonicity is what lets the model checker identify
+    configurations reached by commuting schedules (Lemma 1). *)
+
+module type MSG = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MSG) : sig
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val size : t -> int
+  (** Total number of pending messages, counting multiplicity. *)
+
+  val send : t -> dest:int -> M.t -> t
+
+  val receive : t -> dest:int -> M.t -> t
+  (** Remove one occurrence.  Raises [Not_found] if the pair is absent. *)
+
+  val mem : t -> dest:int -> M.t -> bool
+
+  val count : t -> dest:int -> M.t -> int
+
+  val deliverable : t -> (int * M.t) list
+  (** Distinct pending [(dest, msg)] pairs in canonical order: the possible
+      non-null delivery events. *)
+
+  val for_dest : t -> int -> M.t list
+  (** Distinct pending messages addressed to one process. *)
+
+  val to_list : t -> (int * M.t * int) list
+  (** Canonical [(dest, msg, multiplicity)] listing. *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,57 @@
+(** Consensus protocols in the FLP §2 model.
+
+    A protocol is an asynchronous system of [n >= 2] deterministic process
+    automata.  Each automaton has a one-bit input register (fixed at start),
+    a write-once output register, and arbitrary internal storage.  In one
+    atomic step a process receives at most one message, moves to a new
+    internal state, and sends a finite set of messages — including the atomic
+    broadcast the paper postulates.
+
+    The extra equality / hashing / printing witnesses exist so that the
+    explicit-state analyses ({!Analysis}) can canonicalise configurations.
+    They carry no semantic weight. *)
+
+module type S = sig
+  type state
+  (** Internal state, including the input register and program counter. *)
+
+  type msg
+
+  val name : string
+
+  val n : int
+  (** Number of processes; the paper requires [n >= 2]. *)
+
+  val init : pid:int -> input:Value.t -> state
+  (** Initial internal state.  The output register must start undecided:
+      [output (init ~pid ~input) = None]. *)
+
+  val step : pid:int -> state -> msg option -> state * (int * msg) list
+  (** One atomic step: the process is handed the delivered message ([None]
+      for the null delivery, which is always possible) and returns its next
+      state plus messages to send as [(destination, payload)] pairs.  Must be
+      a pure function — determinism is part of the model. *)
+
+  val output : state -> Value.t option
+  (** Contents of the output register.  [Config.apply] enforces that once
+      this is [Some v] it never changes (write-once). *)
+
+  val equal_state : state -> state -> bool
+
+  val hash_state : state -> int
+
+  val pp_state : Format.formatter -> state -> unit
+
+  val compare_msg : msg -> msg -> int
+
+  val hash_msg : msg -> int
+
+  val pp_msg : Format.formatter -> msg -> unit
+end
+
+type t = (module S)
+(** A packed protocol, convenient for tables of protocols ({!Zoo.all}). *)
+
+let name (module P : S) = P.name
+
+let size (module P : S) = P.n

@@ -1,0 +1,29 @@
+(** Random finite protocols, for fuzzing the analysis stack against
+    Theorem 1 itself.
+
+    A generated protocol is a deterministic transition table over a small
+    state space: each process starts in one of two input-dependent states,
+    every (state, received-message) pair maps to a fixed successor state and
+    at most two sends, and a designated subset of states are absorbing
+    decision states (so the write-once output register is respected by
+    construction).
+
+    Theorem 1 quantifies over {e all} protocols, so every random instance
+    must fail somewhere: be partially incorrect, or block, or admit a fair
+    non-deciding cycle.  The fuzz suite generates hundreds of these tables
+    and asserts the trichotomy on each — a machine check that the executable
+    reading of the theorem has no holes the generator can find. *)
+
+type spec = {
+  n : int;  (** processes (2 or 3 are practical) *)
+  states : int;  (** working states per process, excluding decision states *)
+  messages : int;  (** size of the message universe *)
+  fanout : int;  (** maximum sends per step *)
+  decide_bias : int;
+      (** one in [decide_bias] transitions targets a decision state *)
+}
+
+val default_spec : spec
+
+val generate : spec -> seed:int -> Protocol.t
+(** Build the protocol table deterministically from the seed. *)

@@ -1,0 +1,33 @@
+type t = Zero | One
+
+let all = [ Zero; One ]
+
+let zero = Zero
+
+let one = One
+
+let to_int = function Zero -> 0 | One -> 1
+
+let of_int = function
+  | 0 -> Zero
+  | 1 -> One
+  | n -> invalid_arg (Printf.sprintf "Value.of_int: %d is not a binary value" n)
+
+let equal a b = a = b
+
+let compare a b = Stdlib.compare (to_int a) (to_int b)
+
+let flip = function Zero -> One | One -> Zero
+
+let logand a b = if a = One && b = One then One else Zero
+
+let logor a b = if a = One || b = One then One else Zero
+
+let majority values =
+  if values = [] then invalid_arg "Value.majority: empty list";
+  let ones = List.length (List.filter (equal One) values) in
+  if 2 * ones > List.length values then One else Zero
+
+let to_string = function Zero -> "0" | One -> "1"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

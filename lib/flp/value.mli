@@ -1,0 +1,35 @@
+(** Binary consensus values.
+
+    FLP §2: every process starts with an input in [{0, 1}] and decides by
+    writing [0] or [1] into its write-once output register. *)
+
+type t = Zero | One
+
+val all : t list
+
+val zero : t
+
+val one : t
+
+val to_int : t -> int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on anything but [0] or [1]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val flip : t -> t
+
+val logand : t -> t -> t
+
+val logor : t -> t -> t
+
+val majority : t list -> t
+(** Strict-majority value of a non-empty list; ties go to [Zero] (an
+    "agreed-upon rule" in the paper's sense). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

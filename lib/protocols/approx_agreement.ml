@@ -1,0 +1,91 @@
+type msg = { round : int; value : float }
+
+type state = {
+  v : float;
+  round : int;
+  inbox : (int * int * float) list;  (* (src, round, value) *)
+  halted : bool;
+}
+
+let fixed_scale = 1e6
+
+let to_fixed v = int_of_float (Float.round (v *. fixed_scale))
+
+let of_fixed d = float_of_int d /. fixed_scale
+
+let final_value st = st.v
+
+let rounds_for ~range ~epsilon =
+  if epsilon <= 0.0 then invalid_arg "Approx_agreement.rounds_for: epsilon must be positive";
+  if range <= epsilon then 0
+  else int_of_float (ceil (Float.log2 (range /. epsilon)))
+
+module Make (K : sig
+  val f : int
+
+  val rounds : int
+
+  val input_scale : float
+end) =
+struct
+  type nonrec msg = msg
+
+  type nonrec state = state
+
+  let name = Printf.sprintf "approx-agreement:f=%d:r=%d" K.f K.rounds
+
+  let broadcast st = Sim.Engine.Broadcast { round = st.round; value = st.v }
+
+  let halt st = ({ st with halted = true; inbox = [] }, [ Sim.Engine.Decide (to_fixed st.v) ])
+
+  (* Collect n - f - 1 round-r values from others (plus our own), adopt the
+     midpoint of the collected range, and advance — possibly cascading when
+     later-round values arrived early. *)
+  let rec progress ~n st acts =
+    if st.halted then (st, acts)
+    else begin
+      let current =
+        List.filter_map
+          (fun (_, r, v) -> if r = st.round then Some v else None)
+          st.inbox
+      in
+      if List.length current < n - K.f - 1 then (st, acts)
+      else begin
+        let collected = st.v :: current in
+        let lo = List.fold_left Float.min infinity collected in
+        let hi = List.fold_left Float.max neg_infinity collected in
+        let st =
+          {
+            st with
+            v = (lo +. hi) /. 2.0;
+            round = st.round + 1;
+            inbox = List.filter (fun (_, r, _) -> r > st.round) st.inbox;
+          }
+        in
+        if st.round > K.rounds then
+          let st, acts' = halt st in
+          (st, acts @ acts')
+        else progress ~n st (acts @ [ broadcast st ])
+      end
+    end
+
+  let init ~n ~pid:_ ~input ~rng:_ =
+    let st =
+      { v = float_of_int input *. K.input_scale; round = 1; inbox = []; halted = false }
+    in
+    if K.rounds < 1 then halt st
+    else begin
+      let st, acts = progress ~n st [ broadcast st ] in
+      (st, acts)
+    end
+
+  let on_message ~n ~pid:_ st ~src (msg : msg) =
+    if st.halted || msg.round < st.round then (st, [])
+    else begin
+      let entry = (src, msg.round, msg.value) in
+      if List.mem entry st.inbox then (st, [])
+      else progress ~n { st with inbox = entry :: st.inbox } []
+    end
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end

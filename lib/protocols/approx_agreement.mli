@@ -1,0 +1,47 @@
+(** Asynchronous approximate agreement (the paper's ref [9]: Dolev, Lynch,
+    Pinter, Stark, Weihl, "Reaching approximate agreement in the presence of
+    faults").
+
+    FLP's conclusion points at "less stringent requirements on the solution"
+    as a way out.  Approximate agreement weakens exact agreement to
+    [|v_i - v_j| <= epsilon]: processes hold real-valued inputs and run
+    averaging rounds — broadcast your value, collect [n - f] round-tagged
+    values, adopt the midpoint of the collected range.  Each round at least
+    halves the diameter of the live processes' values (crash-fault variant),
+    so [ceil(log2 (range / epsilon))] rounds suffice; unlike exact consensus
+    this terminates deterministically, fully asynchronously, with [f < n/2]
+    crash faults — no coin, no synchrony, no detector.
+
+    Decisions are reported through the engine's integer output register in
+    fixed point ({!to_fixed}); the exact final value is available from the
+    state via {!final_value} and {!Sim.Engine.Make.run_states}. *)
+
+type msg
+
+type state
+
+val fixed_scale : float
+(** Fixed-point scale for the decision register (1e6). *)
+
+val to_fixed : float -> int
+
+val of_fixed : int -> float
+
+val final_value : state -> float
+(** The value the process halted with. *)
+
+val rounds_for : range:float -> epsilon:float -> int
+(** Rounds needed to shrink an initial diameter [range] to [epsilon] at a
+    convergence factor of 1/2 per round. *)
+
+module Make (K : sig
+  val f : int
+  (** crash-fault threshold, requires [n >= 2 f + 1] *)
+
+  val rounds : int
+  (** averaging rounds before halting (see {!rounds_for}) *)
+
+  val input_scale : float
+  (** engine inputs are integers; each process starts with
+      [input * input_scale], letting scenarios encode real-valued inputs *)
+end) : Sim.Engine.APP with type msg = msg and type state = state

@@ -1,0 +1,138 @@
+type kind = Report | Proposal
+
+type msg =
+  | Phase of { round : int; kind : kind; value : int option }
+      (** [value = None] is the [bot] proposal; reports always carry a value *)
+  | Decided of int
+
+let f_of n = (n - 1) / 2
+
+module Common = struct
+  type state = {
+    pid : int;
+    x : int;
+    round : int;
+    phase : kind;  (* which threshold we are waiting on *)
+    prop : int option;  (* own proposal while in phase 2 *)
+    inbox : (int * int * kind * int option) list;  (* (src, round, kind, value) *)
+    decided : bool;
+    rng : Sim.Rng.t;
+  }
+
+  let broadcast_phase st =
+    Sim.Engine.Broadcast
+      (Phase
+         {
+           round = st.round;
+           kind = st.phase;
+           value = (match st.phase with Report -> Some st.x | Proposal -> st.prop);
+         })
+
+  let of_kind st kind =
+    List.filter_map
+      (fun (_, r, k, v) -> if r = st.round && k = kind then Some v else None)
+      st.inbox
+
+  let count v collected = List.length (List.filter (fun x -> x = Some v) collected)
+
+  (* Advance through phases as far as thresholds allow, accumulating
+     broadcasts; [coin] supplies the phase-2 fallback value. *)
+  let rec progress ~n ~coin st acts =
+    if st.decided then (st, acts)
+    else begin
+      let f = f_of n in
+      let needed_from_others = n - f - 1 in
+      match st.phase with
+      | Report ->
+          let reports = of_kind st Report in
+          if List.length reports < needed_from_others then (st, acts)
+          else begin
+            let collected = Some st.x :: reports in
+            (* Propose v only on an absolute majority (> n/2) of reports.
+               Counting against the collected subset instead would let two
+               disjoint quorums propose opposite values and break agreement. *)
+            let prop =
+              if 2 * count 1 collected > n then Some 1
+              else if 2 * count 0 collected > n then Some 0
+              else None
+            in
+            let st = { st with phase = Proposal; prop } in
+            progress ~n ~coin st (acts @ [ broadcast_phase st ])
+          end
+      | Proposal ->
+          let proposals = of_kind st Proposal in
+          if List.length proposals < needed_from_others then (st, acts)
+          else begin
+            let collected = st.prop :: proposals in
+            let decide =
+              if count 1 collected >= f + 1 then Some 1
+              else if count 0 collected >= f + 1 then Some 0
+              else None
+            in
+            match decide with
+            | Some v ->
+                let st = { st with x = v; decided = true } in
+                (st, acts @ [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Decided v) ])
+            | None ->
+                let x' =
+                  if count 1 collected >= 1 then 1
+                  else if count 0 collected >= 1 then 0
+                  else coin st
+                in
+                let st = { st with x = x'; round = st.round + 1; phase = Report; prop = None } in
+                progress ~n ~coin st (acts @ [ broadcast_phase st ])
+          end
+    end
+
+  let init ~coin:_ ~n:_ ~pid ~input ~rng =
+    let st =
+      { pid; x = input; round = 1; phase = Report; prop = None; inbox = []; decided = false; rng }
+    in
+    (st, [ broadcast_phase st ])
+
+  let on_message ~coin ~n ~pid:_ st ~src msg =
+    if st.decided then (st, [])
+    else
+      match msg with
+      | Decided v ->
+          ({ st with x = v; decided = true },
+           [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Decided v) ])
+      | Phase { round; kind; value } ->
+          let entry = (src, round, kind, value) in
+          if round < st.round || List.mem entry st.inbox then (st, [])
+          else progress ~n ~coin { st with inbox = entry :: st.inbox } []
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module App = struct
+  type state = Common.state
+
+  type nonrec msg = msg
+
+  let name = "ben-or"
+
+  let coin (st : Common.state) = Sim.Rng.bit st.rng
+
+  let init = Common.init ~coin
+
+  let on_message = Common.on_message ~coin
+
+  let on_timer = Common.on_timer
+end
+
+module App_det = struct
+  type state = Common.state
+
+  type nonrec msg = msg
+
+  let name = "ben-or-det"
+
+  let coin (st : Common.state) = (st.round + st.pid) land 1
+
+  let init = Common.init ~coin
+
+  let on_message = Common.on_message ~coin
+
+  let on_timer = Common.on_timer
+end

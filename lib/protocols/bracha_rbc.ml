@@ -1,0 +1,141 @@
+type msg = Initial of int | Echo of int | Ready of int
+
+module Make (K : sig
+  val f : int
+end) =
+struct
+  module IntMap = Map.Make (Int)
+
+  type state = {
+    echoed : bool;
+    readied : bool;
+    delivered : bool;
+    echoes : int IntMap.t;  (* value -> distinct-source count, self included *)
+    readies : int IntMap.t;
+    echo_srcs : int list;  (* sources already counted, for dedup *)
+    ready_srcs : int list;
+  }
+
+  type nonrec msg = msg
+
+  let name = Printf.sprintf "bracha-rbc:f=%d" K.f
+
+  let echo_threshold n = (n + K.f + 2) / 2
+  (* ceil((n + f + 1) / 2) *)
+
+  let ready_amplify = K.f + 1
+
+  let deliver_threshold = (2 * K.f) + 1
+
+  let bump v m = IntMap.update v (function None -> Some 1 | Some c -> Some (c + 1)) m
+
+  let empty =
+    {
+      echoed = false;
+      readied = false;
+      delivered = false;
+      echoes = IntMap.empty;
+      readies = IntMap.empty;
+      echo_srcs = [];
+      ready_srcs = [];
+    }
+
+  (* Broadcast an echo (resp. ready) and count our own copy: thresholds in
+     Bracha's protocol include the process's own message, but the engine's
+     broadcast excludes self. *)
+  let emit_echo st v = ({ st with echoed = true; echoes = bump v st.echoes },
+                        [ Sim.Engine.Broadcast (Echo v) ])
+
+  let emit_ready st v = ({ st with readied = true; readies = bump v st.readies },
+                         [ Sim.Engine.Broadcast (Ready v) ])
+
+  (* Fire the ready/deliver cascade to a fixpoint: our own ready counts
+     toward our own delivery threshold. *)
+  let rec cascade ~n st acts =
+    let ready_candidate =
+      if st.readied then None
+      else
+        match
+          IntMap.fold
+            (fun v c acc -> if c >= echo_threshold n then Some v else acc)
+            st.echoes None
+        with
+        | Some v -> Some v
+        | None ->
+            IntMap.fold
+              (fun v c acc -> if c >= ready_amplify then Some v else acc)
+              st.readies None
+    in
+    match ready_candidate with
+    | Some v ->
+        let st, acts' = emit_ready st v in
+        cascade ~n st (acts @ acts')
+    | None ->
+        let deliver_candidate =
+          if st.delivered then None
+          else
+            IntMap.fold
+              (fun v c acc -> if c >= deliver_threshold then Some v else acc)
+              st.readies None
+        in
+        (match deliver_candidate with
+        | Some v -> ({ st with delivered = true }, acts @ [ Sim.Engine.Decide v ])
+        | None -> (st, acts))
+
+  let init ~n ~pid ~input ~rng:_ =
+    if pid = 0 then begin
+      let st, acts = emit_echo empty input in
+      let st, acts' = cascade ~n st [] in
+      (st, (Sim.Engine.Broadcast (Initial input) :: acts) @ acts')
+    end
+    else (empty, [])
+
+  let on_message ~n ~pid:_ st ~src msg =
+    match msg with
+    | Initial v ->
+        if src <> 0 || st.echoed then (st, [])
+        else begin
+          let st, acts = emit_echo st v in
+          let st, acts' = cascade ~n st [] in
+          (st, acts @ acts')
+        end
+    | Echo v ->
+        if List.mem src st.echo_srcs then (st, [])
+        else
+          cascade ~n
+            { st with echoes = bump v st.echoes; echo_srcs = src :: st.echo_srcs }
+            []
+    | Ready v ->
+        if List.mem src st.ready_srcs then (st, [])
+        else
+          cascade ~n
+            { st with readies = bump v st.readies; ready_srcs = src :: st.ready_srcs }
+            []
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+let equivocate ~n ~pid:_ actions =
+  List.concat_map
+    (fun action ->
+      match action with
+      | Sim.Engine.Broadcast (Initial v) ->
+          List.filter_map
+            (fun d ->
+              if d = 0 then None
+              else Some (Sim.Engine.Send (d, Initial (if d land 1 = 0 then v else 1 - v))))
+            (List.init n Fun.id)
+      | other -> [ other ])
+    actions
+
+let poison ~pid:_ actions =
+  List.map
+    (fun action ->
+      match action with
+      | Sim.Engine.Broadcast (Echo v) -> Sim.Engine.Broadcast (Echo (1 - v))
+      | Sim.Engine.Broadcast (Ready v) -> Sim.Engine.Broadcast (Ready (1 - v))
+      | other -> other)
+    actions
+
+let corrupt_set behaviour pids ~pid actions =
+  if List.mem pid pids then behaviour ~pid actions else actions

@@ -1,0 +1,204 @@
+module IntMap = Map.Make (Int)
+
+type msg =
+  | Heartbeat
+  | Estimate of { round : int; x : int; ts : int }
+  | Propose of { round : int; v : int }
+  | Ack of int
+  | Nack of int
+  | Decide of int
+
+let tick_tag = 0
+
+module Make (K : sig
+  val tick : float
+
+  val initial_threshold : int
+end) =
+struct
+  type peer = { silence : int; threshold : int; suspected : bool }
+
+  type state = {
+    pid : int;
+    x : int;
+    ts : int;  (* round of the proposal we last adopted *)
+    round : int;
+    waiting_propose : bool;  (* sent our estimate, awaiting the coordinator *)
+    estimates : (int * int) list IntMap.t;  (* round -> (x, ts) list, as coordinator *)
+    proposals : int IntMap.t;  (* round -> v we proposed, as coordinator *)
+    acks : int IntMap.t;
+    nacks : int IntMap.t;
+    peers : peer IntMap.t;
+    decided : bool;
+  }
+
+  type nonrec msg = msg
+
+  let name = Printf.sprintf "chandra-toueg:%g:%d" K.tick K.initial_threshold
+
+  let coord_of ~n round = round mod n
+
+  let majority n = (n / 2) + 1
+
+  let enter_round ~n st round =
+    let st = { st with round; waiting_propose = true } in
+    (st, [ Sim.Engine.Send (coord_of ~n round, Estimate { round; x = st.x; ts = st.ts }) ])
+
+  (* Coordinator logic: propose once a majority of estimates for a round we
+     lead has arrived; decide once a majority of acks has.  Broadcast skips
+     the sender, so when the coordinator proposes for its own current round
+     it must apply the participant transition (adopt, self-ack, move on)
+     locally — otherwise a round can never reach a majority of acks once
+     [n - majority n] processes have crashed. *)
+  let coordinator_try ~n st round acts =
+    let acts = ref acts in
+    let st = ref st in
+    (match IntMap.find_opt round !st.estimates with
+    | Some ests
+      when List.length ests >= majority n && not (IntMap.mem round !st.proposals) ->
+        let _, best =
+          List.fold_left
+            (fun (bts, bx) (x, ts) -> if ts >= bts then (ts, x) else (bts, bx))
+            (-1, 0) ests
+        in
+        st := { !st with proposals = IntMap.add round best !st.proposals };
+        acts := !acts @ [ Sim.Engine.Broadcast (Propose { round; v = best }) ];
+        if round = !st.round && !st.waiting_propose then begin
+          let self_acks = 1 + Option.value (IntMap.find_opt round !st.acks) ~default:0 in
+          st :=
+            {
+              !st with
+              x = best;
+              ts = round;
+              waiting_propose = false;
+              acks = IntMap.add round self_acks !st.acks;
+            };
+          let st', acts' = enter_round ~n !st (round + 1) in
+          st := st';
+          acts := !acts @ acts'
+        end
+    | _ -> ());
+    (match (IntMap.find_opt round !st.acks, IntMap.find_opt round !st.proposals) with
+    | Some a, Some v when a >= majority n && not !st.decided ->
+        st := { !st with decided = true };
+        acts := !acts @ [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Decide v) ]
+    | _ -> ());
+    (!st, !acts)
+
+  let init ~n ~pid ~input ~rng:_ =
+    let peers =
+      List.fold_left
+        (fun acc q ->
+          if q = pid then acc
+          else
+            IntMap.add q { silence = 0; threshold = K.initial_threshold; suspected = false } acc)
+        IntMap.empty
+        (List.init n Fun.id)
+    in
+    let st =
+      {
+        pid;
+        x = input;
+        ts = 0;
+        round = 0;
+        waiting_propose = false;
+        estimates = IntMap.empty;
+        proposals = IntMap.empty;
+        acks = IntMap.empty;
+        nacks = IntMap.empty;
+        peers;
+        decided = false;
+      }
+    in
+    let st, acts = enter_round ~n st 1 in
+    (st, (Sim.Engine.Set_timer (K.tick, tick_tag) :: Sim.Engine.Broadcast Heartbeat :: acts))
+
+  let on_message ~n ~pid st ~src msg =
+    if st.decided then
+      (* stay quiet except for relaying the decision to late askers *)
+      match msg with
+      | Estimate { round; _ } when coord_of ~n round = pid -> (st, [])
+      | _ -> (st, [])
+    else
+      match msg with
+      | Heartbeat ->
+          let peers =
+            IntMap.update src
+              (function
+                | None -> None
+                | Some p ->
+                    Some
+                      {
+                        silence = 0;
+                        threshold = (if p.suspected then p.threshold + 2 else p.threshold);
+                        suspected = false;
+                      })
+              st.peers
+          in
+          ({ st with peers }, [])
+      | Decide v ->
+          ({ st with x = v; decided = true },
+           [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Decide v) ])
+      | Estimate { round; x; ts } ->
+          if coord_of ~n round <> pid then (st, [])
+          else begin
+            let ests = Option.value (IntMap.find_opt round st.estimates) ~default:[] in
+            let st = { st with estimates = IntMap.add round ((x, ts) :: ests) st.estimates } in
+            let st, acts = coordinator_try ~n st round [] in
+            (st, acts)
+          end
+      | Propose { round; v } ->
+          if round <> st.round || not st.waiting_propose || src <> coord_of ~n round then
+            (st, [])
+          else begin
+            let st = { st with x = v; ts = round; waiting_propose = false } in
+            let st, acts = enter_round ~n st (round + 1) in
+            (st, (Sim.Engine.Send (src, Ack round) :: acts))
+          end
+      | Ack round ->
+          if coord_of ~n round <> pid then (st, [])
+          else begin
+            let a = Option.value (IntMap.find_opt round st.acks) ~default:0 in
+            let st = { st with acks = IntMap.add round (a + 1) st.acks } in
+            coordinator_try ~n st round []
+          end
+      | Nack round ->
+          if coord_of ~n round <> pid then (st, [])
+          else begin
+            let x = Option.value (IntMap.find_opt round st.nacks) ~default:0 in
+            ({ st with nacks = IntMap.add round (x + 1) st.nacks }, [])
+          end
+
+  let on_timer ~n ~pid:_ st ~tag =
+    if tag <> tick_tag || st.decided then (st, [])
+    else begin
+      (* advance the detector: one more tick of silence everywhere *)
+      let peers =
+        IntMap.map
+          (fun p ->
+            let silence = p.silence + 1 in
+            { p with silence; suspected = silence > p.threshold })
+          st.peers
+      in
+      let st = { st with peers } in
+      let suspects q =
+        match IntMap.find_opt q st.peers with Some p -> p.suspected | None -> false
+      in
+      let st, acts =
+        if st.waiting_propose && suspects (coord_of ~n st.round) then begin
+          let c = coord_of ~n st.round in
+          let nack = Sim.Engine.Send (c, Nack st.round) in
+          let st, acts = enter_round ~n { st with waiting_propose = false } (st.round + 1) in
+          (st, nack :: acts)
+        end
+        else (st, [])
+      in
+      (st, (Sim.Engine.Set_timer (K.tick, tick_tag) :: Sim.Engine.Broadcast Heartbeat :: acts))
+    end
+end
+
+module App = Make (struct
+  let tick = 0.5
+
+  let initial_threshold = 4
+end)

@@ -1,0 +1,35 @@
+(** Chandra–Toueg rotating-coordinator consensus with an eventually strong
+    (◇S-style) failure detector — the canonical "more refined model" the FLP
+    conclusion calls for: keep the asynchronous network, but add an oracle
+    that eventually stops suspecting some correct process.
+
+    The detector is implemented inside the protocol with heartbeats and
+    adaptive timeouts: every process broadcasts a heartbeat each tick and
+    suspects a peer whose silence exceeds that peer's current threshold;
+    each false suspicion (a heartbeat arriving from a suspect) raises the
+    threshold, so under any fixed-but-unknown delay bound suspicions are
+    eventually accurate.
+
+    Consensus proceeds in asynchronous rounds with coordinator
+    [round mod n], tolerating [f < n/2] crashes: estimates carry a timestamp
+    of the last adopted proposal; the coordinator of a round collects a
+    majority of estimates, proposes the freshest, and decides on a majority
+    of acks; participants nack and move on when the detector suspects the
+    coordinator.  Decisions propagate by an echo broadcast.
+
+    Experiment E13 sweeps the initial suspicion threshold against the delay
+    distribution to trade false-suspicion rate against decision latency. *)
+
+type msg
+
+module Make (K : sig
+  val tick : float
+  (** heartbeat / detector period *)
+
+  val initial_threshold : int
+  (** ticks of silence before a first suspicion *)
+end) : Sim.Engine.APP with type msg = msg
+
+module App : Sim.Engine.APP with type msg = msg
+(** [Make] with tick 0.5 and threshold 4 — suited to the default
+    Uniform(0.1, 1.0) delays. *)

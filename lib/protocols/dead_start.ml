@@ -1,0 +1,143 @@
+module IntSet = Set.Make (Int)
+module IntMap = Map.Make (Int)
+
+type info = { value : int; preds : int list }
+
+type msg =
+  | Hello  (** stage-1 broadcast; the engine supplies the sender *)
+  | Info of info  (** stage-2 broadcast: initial value + stage-1 predecessors *)
+
+let listen_threshold n = ((n + 2) / 2) - 1
+(* L - 1 where L = ceil((n+1)/2) *)
+
+(* Initial clique of a transitively closed graph, restricted to a candidate
+   set whose incident edges are fully known: k belongs iff k reaches every
+   node that reaches k. *)
+let clique_members closure candidates =
+  List.filter
+    (fun k ->
+      List.for_all
+        (fun j -> j = k || Digraph.mem_edge closure k j)
+        (Digraph.preds closure k))
+    candidates
+
+(* Candidates are the processes that actually participate in G (dead
+   processes are not nodes of the paper's graph; in the adjacency-matrix
+   encoding they show up as isolated vertices and must be excluded, since an
+   isolated vertex vacuously passes the clique criterion). *)
+let initial_clique_of g =
+  let participating k = Digraph.in_degree g k > 0 || Digraph.out_degree g k > 0 in
+  let candidates = List.filter participating (List.init (Digraph.size g) Fun.id) in
+  clique_members (Digraph.transitive_closure g) candidates
+
+let decide_rule values =
+  let ones = List.length (List.filter (fun v -> v = 1) values) in
+  if 2 * ones > List.length values then 1 else 0
+
+let decision_of g values =
+  let clique = initial_clique_of g in
+  decide_rule (List.map (fun k -> values.(k)) clique)
+
+module Make (K : sig
+  val listen_threshold : int -> int
+end) =
+struct
+  type stage = Listening | Closing | Done
+
+  type state = {
+    pid : int;
+    n : int;
+    value : int;
+    heard : IntSet.t;  (* direct stage-1 predecessors, capped at L - 1 *)
+    infos : info IntMap.t;  (* stage-2 messages received so far (and own) *)
+    stage : stage;
+  }
+
+  type nonrec msg = msg
+
+  let name = "dead-start"
+
+  let listen_threshold = K.listen_threshold
+
+  (* Known-ancestor closure: starting from the direct predecessors, add the
+     predecessors of every known ancestor whose Info has arrived.  Returns
+     the known set and whether every member's Info is present. *)
+  let known_ancestors st =
+    let rec grow known =
+      let known' =
+        IntSet.fold
+          (fun k acc ->
+            match IntMap.find_opt k st.infos with
+            | Some { preds; _ } -> List.fold_left (fun a p -> IntSet.add p a) acc preds
+            | None -> acc)
+          known known
+      in
+      if IntSet.equal known' known then known else grow known'
+    in
+    let known = grow st.heard in
+    let complete = IntSet.for_all (fun k -> IntMap.mem k st.infos) known in
+    (known, complete)
+
+  (* All ancestors heard from: compute the clique of G+ restricted to the
+     ancestor set and decide on its members' initial values. *)
+  let conclude st =
+    let known, _ = known_ancestors st in
+    let g = Digraph.create st.n in
+    IntSet.iter
+      (fun k ->
+        match IntMap.find_opt k st.infos with
+        | Some { preds; _ } -> List.iter (fun p -> Digraph.add_edge g p k) preds
+        | None -> ())
+      known;
+    IntSet.iter (fun p -> Digraph.add_edge g p st.pid) st.heard;
+    let closure = Digraph.transitive_closure g in
+    let clique = clique_members closure (IntSet.elements known) in
+    let values =
+      List.filter_map
+        (fun k -> Option.map (fun (i : info) -> i.value) (IntMap.find_opt k st.infos))
+        clique
+    in
+    decide_rule values
+
+  let try_finish st =
+    if st.stage <> Closing then (st, [])
+    else begin
+      let _, complete = known_ancestors st in
+      if complete then ({ st with stage = Done }, [ Sim.Engine.Decide (conclude st) ])
+      else (st, [])
+    end
+
+  let enter_stage2 st =
+    let info = { value = st.value; preds = IntSet.elements st.heard } in
+    let st = { st with stage = Closing; infos = IntMap.add st.pid info st.infos } in
+    let st, actions = try_finish st in
+    (st, Sim.Engine.Broadcast (Info info) :: actions)
+
+  let init ~n ~pid ~input ~rng:_ =
+    let st =
+      { pid; n; value = input; heard = IntSet.empty; infos = IntMap.empty; stage = Listening }
+    in
+    if listen_threshold n = 0 then
+      let st, actions = enter_stage2 st in
+      (st, Sim.Engine.Broadcast Hello :: actions)
+    else (st, [ Sim.Engine.Broadcast Hello ])
+
+  let on_message ~n ~pid:_ st ~src msg =
+    match msg with
+    | Hello ->
+        if st.stage = Listening && not (IntSet.mem src st.heard) then begin
+          let st = { st with heard = IntSet.add src st.heard } in
+          if IntSet.cardinal st.heard >= listen_threshold n then enter_stage2 st
+          else (st, [])
+        end
+        else (st, [])
+    | Info info ->
+        if st.stage = Done then (st, [])
+        else try_finish { st with infos = IntMap.add src info st.infos }
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module App = Make (struct
+  let listen_threshold = listen_threshold
+end)

@@ -1,0 +1,48 @@
+(** The FLP §4 protocol: consensus with initially dead processes.
+
+    Works in two stages.  Stage 1: every live process broadcasts its name and
+    listens until it has heard from [L - 1] other processes, where
+    [L = ceil((n+1)/2)]; this defines a graph [G] with an edge [i -> j] iff
+    [j] heard from [i].  Stage 2: every process broadcasts its name, initial
+    value, and the [L - 1] names it heard, then waits until it has received a
+    stage-2 message from every ancestor of itself in [G] that it knows about
+    (it learns of new ancestors from incoming stage-2 messages).  Each
+    process then computes [G+] restricted to its ancestors, extracts the
+    {e initial clique} — the unique clique of [G+] with no incoming edges,
+    of cardinality at least [L] — and decides by an agreed-upon rule on the
+    clique members' initial values (here: majority, ties to 0).
+
+    Theorem 2: this is a partially correct protocol in which all live
+    processes decide, provided no process dies {e during} execution and a
+    strict majority is alive at the start. *)
+
+type msg
+
+val listen_threshold : int -> int
+(** [listen_threshold n] is [L - 1], the number of distinct stage-1 senders a
+    process waits for. *)
+
+(** The protocol as an engine application.  Model "initially dead" processes
+    by [crash_times.(p) = Some 0.0]; such processes never take a step. *)
+module App : Sim.Engine.APP with type msg = msg
+
+(** The same protocol with a custom stage-1 listen count, for the threshold
+    ablation (E15): listening for fewer than [L - 1] peers loses the
+    uniqueness of the initial clique (agreement can break); listening for
+    more trades away liveness exactly at the majority boundary. *)
+module Make (K : sig
+  val listen_threshold : int -> int
+end) : Sim.Engine.APP with type msg = msg
+
+(** {2 Pure decision oracle}
+
+    The same clique computation as a pure function of the global
+    communication graph, used by tests to validate agreement independently of
+    any particular asynchronous run. *)
+
+val initial_clique_of : Digraph.t -> int list
+(** Initial clique of (the closure of) a stage-1 graph. *)
+
+val decision_of : Digraph.t -> int array -> int
+(** [decision_of g values] is the agreed-upon rule applied to the initial
+    clique of [g]: majority of the members' values, ties to 0. *)

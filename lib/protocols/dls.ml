@@ -1,0 +1,103 @@
+type lock = { value : int; phase : int }
+
+type msg =
+  | Report of { x : int; lock : lock option }
+  | Propose of int
+  | Ack
+  | Decide of int
+
+let rounds_per_phase = 4
+
+module Make (K : sig
+  val f : int
+end) =
+struct
+  type state = {
+    x : int;
+    lock : lock option;
+    decided : int option;
+    (* per-phase scratch, reset at each phase boundary *)
+    reports : (int * lock option) list;  (* coordinator: collected (x, lock) *)
+    proposal : int option;  (* coordinator: value proposed this phase *)
+    got_propose : int option;  (* participant: proposal received this phase *)
+    acks : int;  (* coordinator: acks this phase *)
+  }
+
+  type nonrec msg = msg
+
+  let name = Printf.sprintf "dls:f=%d" K.f
+
+  let init ~n:_ ~pid:_ ~input ~rng:_ =
+    { x = input; lock = None; decided = None; reports = []; proposal = None;
+      got_propose = None; acks = 0 }
+
+  let locus ~n ~round =
+    let phase = (round - 1) / rounds_per_phase in
+    let step = (round - 1) mod rounds_per_phase in
+    (phase, step, phase mod n)
+
+  let everyone n = List.init n Fun.id
+
+  let choose_value reports =
+    let best_lock =
+      List.fold_left
+        (fun acc (_, l) ->
+          match (acc, l) with
+          | None, l -> l
+          | Some a, Some b when b.phase > a.phase -> Some b
+          | Some _, _ -> acc)
+        None reports
+    in
+    match best_lock with
+    | Some l -> l.value
+    | None ->
+        let xs = List.map fst reports in
+        let ones = List.length (List.filter (fun v -> v = 1) xs) in
+        if 2 * ones > List.length xs then 1 else 0
+
+  let send ~n ~round ~pid st =
+    let _, step, coord = locus ~n ~round in
+    match st.decided with
+    | Some v -> if step = 0 then List.map (fun d -> (d, Decide v)) (everyone n) else []
+    | None -> (
+        match step with
+        | 0 -> [ (coord, Report { x = st.x; lock = st.lock }) ]
+        | 1 ->
+            if pid = coord && List.length st.reports >= n - K.f then
+              let v = choose_value st.reports in
+              List.map (fun d -> (d, Propose v)) (everyone n)
+            else []
+        | 2 -> (
+            match st.got_propose with Some _ -> [ (coord, Ack) ] | None -> [])
+        | _ ->
+            if pid = coord && st.acks >= K.f + 1 then
+              match st.proposal with
+              | Some v -> List.map (fun d -> (d, Decide v)) (everyone n)
+              | None -> []
+            else [])
+
+  let recv ~n ~round ~pid st inbox =
+    let phase, step, coord = locus ~n ~round in
+    let st =
+      List.fold_left
+        (fun st (src, m) ->
+          match m with
+          | Decide v -> if st.decided = None then { st with decided = Some v } else st
+          | Report r ->
+              if pid = coord && step = 0 then
+                { st with reports = (r.x, r.lock) :: st.reports }
+              else st
+          | Propose v ->
+              if src = coord && step = 1 && st.decided = None then
+                { st with got_propose = Some v; lock = Some { value = v; phase }; x = v;
+                  proposal = (if pid = coord then Some v else st.proposal) }
+              else st
+          | Ack -> if pid = coord && step = 2 then { st with acks = st.acks + 1 } else st)
+        st inbox
+    in
+    if step = rounds_per_phase - 1 then
+      { st with reports = []; proposal = None; got_propose = None; acks = 0 }
+    else st
+
+  let output st = st.decided
+end

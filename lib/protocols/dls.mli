@@ -1,0 +1,28 @@
+(** Partial synchrony à la Dwork–Lynch–Stockmeyer (the paper's ref [10]):
+    consensus in a round model where messages may be lost before an unknown
+    Global Stabilization Time and are delivered reliably afterwards.
+
+    The algorithm is a rotating-coordinator protocol with value locking,
+    tolerating [f < n/2] crash faults.  Each phase takes four rounds and is
+    led by coordinator [phase mod n]:
+
+    + everyone reports its value and current lock to the coordinator;
+    + on [n - f] reports the coordinator proposes the value of the
+      highest-phase lock it saw (else the majority value);
+    + receivers lock the proposal and acknowledge;
+    + on [f + 1] acks the coordinator broadcasts a decision, which decided
+      processes keep gossiping.
+
+    Safety holds through arbitrary loss (quorum intersection on locks);
+    liveness resumes at the first post-GST phase with a live coordinator —
+    the crossover experiment E12 measures decision round as a function of
+    GST. *)
+
+type msg
+
+module Make (K : sig
+  val f : int
+  (** fault threshold; requires [n >= 2 f + 1] *)
+end) : Sim.Sync.ROUND_APP with type msg = msg
+
+val rounds_per_phase : int

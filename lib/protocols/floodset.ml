@@ -1,0 +1,31 @@
+module IntSet = Set.Make (Int)
+
+type msg = int list  (** the sender's current value set [W] *)
+
+module Make (K : sig
+  val rounds : int
+end) =
+struct
+  type state = { seen : IntSet.t; completed : int }
+
+  type nonrec msg = msg
+
+  let name = Printf.sprintf "floodset:%d" K.rounds
+
+  let init ~n:_ ~pid:_ ~input ~rng:_ = { seen = IntSet.singleton input; completed = 0 }
+
+  let send ~n ~round:_ ~pid st =
+    let w = IntSet.elements st.seen in
+    List.filter_map (fun d -> if d = pid then None else Some (d, w)) (List.init n Fun.id)
+
+  let recv ~n:_ ~round:_ ~pid:_ st inbox =
+    let seen =
+      List.fold_left
+        (fun acc (_, w) -> List.fold_left (fun a v -> IntSet.add v a) acc w)
+        st.seen inbox
+    in
+    { seen; completed = st.completed + 1 }
+
+  let output st =
+    if st.completed >= K.rounds then Some (IntSet.min_elt st.seen) else None
+end

@@ -1,0 +1,18 @@
+(** FloodSet: synchronous crash-stop consensus, the paper's contrast case.
+
+    "By way of contrast, solutions are known for the synchronous case."  In
+    the lock-step round model ({!Sim.Sync}), consensus tolerating any number
+    [f < n] of crash faults takes exactly [f + 1] rounds: every process
+    floods the set [W] of values it has seen; after [f + 1] rounds at least
+    one round was crash-free, so all live processes hold the same [W] and
+    decide [min W].
+
+    Experiment E9 verifies the [f + 1] round bound and that agreement
+    survives adversarially placed partial-broadcast crashes. *)
+
+type msg
+
+module Make (K : sig
+  val rounds : int
+  (** [f + 1]: how many flooding rounds before deciding. *)
+end) : Sim.Sync.ROUND_APP with type msg = msg

@@ -1,0 +1,85 @@
+type strategy = Flip | Random | Silent
+
+type result = {
+  decisions : int option array;
+  messages : int;
+  ic1 : bool;
+  ic2 : bool;
+}
+
+let default_value = 0
+
+let majority values =
+  let ones = List.length (List.filter (fun v -> v = 1) values) in
+  let zeros = List.length values - ones in
+  if ones > zeros then 1 else 0
+
+let rec count_formula m l = if m = 0 then l else l + (l * count_formula (m - 1) (l - 1))
+
+let message_count ~n ~m = count_formula m (n - 1)
+
+let run ~n ~m ~commander_value ~traitors ~strategy ~rng =
+  if m < 0 then invalid_arg "Om.run: m must be >= 0";
+  if Array.length traitors <> n then invalid_arg "Om.run: traitors length";
+  if n < 2 then invalid_arg "Om.run: need n >= 2";
+  let messages = ref 0 in
+  (* What [dest] hears when [src] relays [v]; [None] models a silent
+     traitor, resolved to the default value by the receiver.  Flip lies
+     differently to odd and even destinations — a traitor that lies the same
+     way to everyone is indistinguishable from a loyal general with the other
+     order and cannot break agreement. *)
+  let relayed ~src ~dest v =
+    if not traitors.(src) then Some v
+    else
+      match strategy with
+      | Flip -> Some (if dest land 1 = 1 then 1 - v else v)
+      | Random -> Some (Sim.Rng.bit rng)
+      | Silent -> None
+  in
+  (* OM(level) with [commander] ordering [v] to [lieutenants]; returns the
+     value each lieutenant settles on at this level. *)
+  let rec om level commander v lieutenants =
+    let heard =
+      List.map
+        (fun l ->
+          let h = relayed ~src:commander ~dest:l v in
+          if h <> None then incr messages;
+          (l, Option.value h ~default:default_value))
+        lieutenants
+    in
+    if level = 0 then heard
+    else begin
+      (* sub.(l) = alist mapping each other lieutenant j to the value j got
+         out of l's sub-command *)
+      let sub =
+        List.map
+          (fun (l, vl) ->
+            (l, om (level - 1) l vl (List.filter (fun j -> j <> l) lieutenants)))
+          heard
+      in
+      List.map
+        (fun (j, vj) ->
+          let relayed_to_j =
+            List.filter_map
+              (fun (l, results) -> if l = j then None else Some (List.assoc j results))
+              sub
+          in
+          (j, majority (vj :: relayed_to_j)))
+        heard
+    end
+  in
+  let lieutenants = List.init (n - 1) (fun i -> i + 1) in
+  let final = om m 0 commander_value lieutenants in
+  let decisions = Array.make n None in
+  List.iter (fun (l, v) -> if not traitors.(l) then decisions.(l) <- Some v) final;
+  let loyal_values =
+    List.filter_map (fun (l, v) -> if traitors.(l) then None else Some v) final
+  in
+  let ic1 =
+    match loyal_values with [] -> true | v :: rest -> List.for_all (fun w -> w = v) rest
+  in
+  let ic2 =
+    traitors.(0)
+    || List.for_all (fun v -> v = commander_value) loyal_values
+  in
+  { decisions; messages = !messages; ic1; ic2 }

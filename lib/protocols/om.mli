@@ -1,0 +1,44 @@
+(** The Byzantine Generals oral-messages algorithm OM(m) of Lamport, Shostak
+    and Pease — the synchronous Byzantine contrast the FLP introduction
+    cites.
+
+    A commander (process 0) sends its order to [n - 1] lieutenants; OM(m)
+    recurses [m] levels, and each lieutenant takes majorities bottom-up.
+    With [n > 3m] processes and at most [m] traitors the loyal lieutenants
+    satisfy:
+
+    - IC1: all loyal lieutenants decide the same value;
+    - IC2: if the commander is loyal, they decide its value.
+
+    The algorithm sends O(n^(m+1)) messages; experiment E10 measures both
+    the agreement boundary at [n = 3m + 1] and the message blow-up. *)
+
+type strategy =
+  | Flip
+      (** traitors lie destination-dependently: odd-numbered receivers get
+          the inverted value, even-numbered ones the original — the classic
+          "say retreat to half the generals" attack *)
+  | Random  (** traitors relay independent coin flips *)
+  | Silent  (** traitors send nothing; receivers use the default value 0 *)
+
+type result = {
+  decisions : int option array;
+      (** per-process decision; commander and traitors hold [None] *)
+  messages : int;  (** total oral messages sent *)
+  ic1 : bool;
+  ic2 : bool;
+}
+
+val run :
+  n:int ->
+  m:int ->
+  commander_value:int ->
+  traitors:bool array ->
+  strategy:strategy ->
+  rng:Sim.Rng.t ->
+  result
+(** Execute OM(m) with the given traitor set (index 0 is the commander).
+    Raises [Invalid_argument] if [m < 0] or array sizes disagree. *)
+
+val message_count : n:int -> m:int -> int
+(** Closed-form number of messages OM(m) sends with [n] processes. *)

@@ -1,0 +1,177 @@
+type msg =
+  | Prepare of int  (** ballot *)
+  | Promise of { ballot : int; accepted : (int * int) option }
+  | Nack of int
+  | Accept of { ballot : int; value : int }
+  | Accepted of int  (** ballot *)
+  | Chosen of int  (** value *)
+
+type retry = Eager of float | Backoff of float
+
+let retry_tag = 1
+
+module Make (K : sig
+  val proposers : int
+
+  val retry : retry
+end) =
+struct
+  type proposer = {
+    input : int;
+    attempt : int;  (* ballot = attempt * n + pid *)
+    ballot : int;
+    promises : int list;  (* sources *)
+    best_accepted : (int * int) option;  (* highest (ballot, value) reported *)
+    value : int option;  (* value sent in phase 2, once chosen *)
+    acks : int list;
+    phase : [ `Idle | `Preparing | `Accepting ];
+    epoch : int;  (* invalidates stale retry timers *)
+  }
+
+  type state = {
+    pid : int;
+    rng : Sim.Rng.t;
+    (* acceptor *)
+    promised : int;
+    accepted : (int * int) option;
+    (* learner *)
+    decided : bool;
+    (* proposer, when applicable *)
+    prop : proposer option;
+  }
+
+  type nonrec msg = msg
+
+  let name =
+    Printf.sprintf "paxos:p=%d:%s" K.proposers
+      (match K.retry with Eager d -> Printf.sprintf "eager%g" d | Backoff d -> Printf.sprintf "backoff%g" d)
+
+  let majority n = (n / 2) + 1
+
+  let retry_delay st p =
+    match K.retry with
+    | Eager d -> d
+    | Backoff d ->
+        let window = d *. (2.0 ** float_of_int (min 10 p.attempt)) in
+        d +. Sim.Rng.float st.rng window
+
+  (* Start a new ballot: phase 1 broadcast plus a retry timer in case this
+     attempt is preempted or starved. *)
+  let new_ballot ~n st =
+    match st.prop with
+    | None -> (st, [])
+    | Some p ->
+        let attempt = p.attempt + 1 in
+        let ballot = (attempt * n) + st.pid in
+        let epoch = p.epoch + 1 in
+        let p =
+          { p with attempt; ballot; promises = [ st.pid ]; best_accepted = st.accepted;
+            value = None; acks = []; phase = `Preparing; epoch }
+        in
+        (* the local acceptor's self-promise must be binding, or a lower
+           rival ballot could later assemble an intersecting quorum *)
+        let st = { st with prop = Some p; promised = max st.promised ballot } in
+        ( st,
+          [ Sim.Engine.Broadcast (Prepare ballot);
+            Sim.Engine.Set_timer (retry_delay st p, retry_tag * 1000 + epoch) ] )
+
+  (* The acceptor half of this process reacts to its own proposer's messages
+     too (broadcast skips self, so we apply the acceptor rule locally). *)
+  let accept_locally st ballot value =
+    if ballot >= st.promised then
+      { st with promised = ballot; accepted = Some (ballot, value) }
+    else st
+
+  let choose_value p =
+    match p.best_accepted with Some (_, v) -> v | None -> p.input
+
+  let try_phase2 ~n st p =
+    if List.length p.promises >= majority n && p.phase = `Preparing then begin
+      let v = choose_value p in
+      (* the self-ack is only valid if our own acceptor still honours this
+         ballot (a higher rival Prepare may have arrived in between) *)
+      let self_ack = p.ballot >= st.promised in
+      let p =
+        { p with phase = `Accepting; value = Some v;
+          acks = (if self_ack then [ st.pid ] else []) }
+      in
+      let st = { st with prop = Some p } in
+      let st = if self_ack then accept_locally st p.ballot v else st in
+      (st, [ Sim.Engine.Broadcast (Accept { ballot = p.ballot; value = v }) ])
+    end
+    else ({ st with prop = Some p }, [])
+
+  let try_chosen ~n st p =
+    if List.length p.acks >= majority n && p.phase = `Accepting then begin
+      match p.value with
+      | Some v ->
+          let st = { st with decided = true; prop = Some { p with phase = `Idle } } in
+          (st, [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Chosen v) ])
+      | None -> ({ st with prop = Some p }, [])
+    end
+    else ({ st with prop = Some p }, [])
+
+  let init ~n ~pid ~input ~rng =
+    let prop =
+      if pid < K.proposers then
+        Some
+          { input; attempt = -1; ballot = -1; promises = []; best_accepted = None;
+            value = None; acks = []; phase = `Idle; epoch = 0 }
+      else None
+    in
+    let st = { pid; rng; promised = -1; accepted = None; decided = false; prop } in
+    if prop = None then (st, []) else new_ballot ~n st
+
+  let on_message ~n ~pid:_ st ~src msg =
+    if st.decided then
+      match msg with
+      | Prepare _ | Accept _ ->
+          (* steer stragglers to the decision rather than the dead ballots *)
+          (st, [])
+      | _ -> (st, [])
+    else
+      match msg with
+      | Chosen v -> ({ st with decided = true }, [ Sim.Engine.Decide v; Sim.Engine.Broadcast (Chosen v) ])
+      | Prepare ballot ->
+          if ballot > st.promised then
+            ( { st with promised = ballot },
+              [ Sim.Engine.Send (src, Promise { ballot; accepted = st.accepted }) ] )
+          else (st, [ Sim.Engine.Send (src, Nack st.promised) ])
+      | Accept { ballot; value } ->
+          if ballot >= st.promised then
+            ( { st with promised = ballot; accepted = Some (ballot, value) },
+              [ Sim.Engine.Send (src, Accepted ballot) ] )
+          else (st, [ Sim.Engine.Send (src, Nack st.promised) ])
+      | Promise { ballot; accepted } -> (
+          match st.prop with
+          | Some p when p.phase = `Preparing && ballot = p.ballot && not (List.mem src p.promises)
+            ->
+              let best =
+                match (p.best_accepted, accepted) with
+                | None, a -> a
+                | a, None -> a
+                | Some (b1, _), Some (b2, _) ->
+                    if b2 > b1 then accepted else p.best_accepted
+              in
+              try_phase2 ~n st { p with promises = src :: p.promises; best_accepted = best }
+          | Some _ | None -> (st, []))
+      | Accepted ballot -> (
+          match st.prop with
+          | Some p when p.phase = `Accepting && ballot = p.ballot && not (List.mem src p.acks)
+            ->
+              try_chosen ~n st { p with acks = src :: p.acks }
+          | Some _ | None -> (st, []))
+      | Nack observed -> (
+          match st.prop with
+          | Some p when p.phase <> `Idle && observed > p.ballot ->
+              (* preempted: back off to a fresh, higher ballot via the timer *)
+              ({ st with prop = Some { p with phase = `Idle } }, [])
+          | Some _ | None -> (st, []))
+
+  let on_timer ~n ~pid:_ st ~tag =
+    match st.prop with
+    | Some p when (not st.decided) && tag = (retry_tag * 1000) + p.epoch ->
+        (* this attempt neither chose a value nor heard a decision: retry *)
+        new_ballot ~n st
+    | Some _ | None -> (st, [])
+end

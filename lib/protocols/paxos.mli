@@ -1,0 +1,29 @@
+(** Single-decree Paxos (synod), the modern epilogue to FLP.
+
+    Paxos is the canonical consensus protocol built on the quorum/ballot
+    ideas that the FLP-era results forced: it is {e always safe} in the pure
+    asynchronous model — no schedule can make two processes decide
+    differently — and it buys {e liveness} only with extra assumptions,
+    exactly as Theorem 1 demands.  Its residual non-termination mode is the
+    famous {e dueling proposers} livelock: two proposers with eager retry
+    timers preempt each other's ballots forever.  That livelock is FLP's
+    non-deciding admissible run wearing modern clothes, and experiment E17
+    measures how retry policy (eager fixed retry vs randomized exponential
+    backoff — a poor man's leader election) controls it.
+
+    Every process is an acceptor and a learner; processes [0 .. proposers-1]
+    also propose their own input.  Ballots are [attempt * n + pid], so they
+    are unique and totally ordered.  Tolerates [f < n/2] crash faults among
+    acceptors (with at least one live proposer). *)
+
+type msg
+
+type retry =
+  | Eager of float  (** retry a preempted ballot after a fixed delay *)
+  | Backoff of float  (** exponential backoff with per-process jitter *)
+
+module Make (K : sig
+  val proposers : int
+
+  val retry : retry
+end) : Sim.Engine.APP with type msg = msg

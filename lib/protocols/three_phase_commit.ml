@@ -1,0 +1,175 @@
+type pstate = S_init | S_wait | S_pre | S_committed | S_aborted
+
+type msg =
+  | Vote_req
+  | Vote of int
+  | Pre_commit
+  | Ack
+  | Commit
+  | Abort
+  | Inquiry  (** recovery coordinator asking for states *)
+  | State_report of pstate
+      (** reply to an inquiry; also sent spontaneously on timeout to the next
+          coordinator in line, which is what triggers the election *)
+
+let timeout_delay = 5.0
+
+module App = struct
+  type state = {
+    pid : int;
+    vote : int;
+    ps : pstate;
+    coord : int;  (* who this process currently believes coordinates *)
+    epoch : int;  (* invalidates stale timers *)
+    votes : (int * int) list;  (* coordinator: collected votes *)
+    acks : int list;  (* coordinator: collected acks *)
+    reports : (int * pstate) list;  (* recovery coordinator: collected states *)
+    inquiring : bool;
+  }
+
+  type nonrec msg = msg
+
+  let name = "3pc"
+
+  let terminal st = st.ps = S_committed || st.ps = S_aborted
+
+  let arm st = ({ st with epoch = st.epoch + 1 }, Sim.Engine.Set_timer (timeout_delay, st.epoch + 1))
+
+  let decide_commit st = ({ st with ps = S_committed }, [ Sim.Engine.Decide 1 ])
+
+  let decide_abort st = ({ st with ps = S_aborted }, [ Sim.Engine.Decide 0 ])
+
+  let broadcast_outcome st o =
+    let st, acts = if o = 1 then decide_commit st else decide_abort st in
+    (st, Sim.Engine.Broadcast (if o = 1 then Commit else Abort) :: acts)
+
+  let init ~n ~pid ~input ~rng:_ =
+    let st =
+      {
+        pid;
+        vote = input;
+        ps = S_init;
+        coord = 0;
+        epoch = 0;
+        votes = [];
+        acks = [];
+        reports = [];
+        inquiring = false;
+      }
+    in
+    if pid = 0 then begin
+      if input = 0 then
+        let st, acts = broadcast_outcome st 0 in
+        (st, acts)
+      else begin
+        let st = { st with votes = [ (0, 1) ]; ps = S_wait } in
+        if n = 1 then broadcast_outcome st 1
+        else begin
+          let st, timer = arm st in
+          (st, [ Sim.Engine.Broadcast Vote_req; timer ])
+        end
+      end
+    end
+    else begin
+      let st, timer = arm st in
+      (st, [ timer ])
+    end
+
+  (* Recovery resolution rule (crash-stop, at most one fault): a committed or
+     pre-committed survivor forces commit — pre-commit proves every process
+     voted yes and no abort was ever sent; otherwise abort is safe. *)
+  let resolve_reports reports =
+    if List.exists (fun (_, s) -> s = S_committed || s = S_pre) reports then 1
+    else if List.exists (fun (_, s) -> s = S_aborted) reports then 0
+    else 0
+
+  let start_inquiry st =
+    let st = { st with coord = st.pid; inquiring = true; reports = [ (st.pid, st.ps) ] } in
+    let st, timer = arm st in
+    (st, [ Sim.Engine.Broadcast Inquiry; timer ])
+
+  let on_message ~n ~pid:_ st ~src msg =
+    match msg with
+    | Vote_req ->
+        if terminal st || st.ps <> S_init then (st, [])
+        else if st.vote = 0 then
+          let st, acts = decide_abort st in
+          (st, Sim.Engine.Send (src, Vote 0) :: acts)
+        else begin
+          let st, timer = arm { st with ps = S_wait } in
+          (st, [ Sim.Engine.Send (src, Vote 1); timer ])
+        end
+    | Vote v ->
+        if terminal st || st.pid <> st.coord || List.mem_assoc src st.votes then (st, [])
+        else begin
+          let votes = (src, v) :: st.votes in
+          if v = 0 then broadcast_outcome { st with votes } 0
+          else if List.length votes = n then begin
+            let st, timer = arm { st with votes; ps = S_pre; acks = [] } in
+            (st, [ Sim.Engine.Broadcast Pre_commit; timer ])
+          end
+          else ({ st with votes }, [])
+        end
+    | Pre_commit ->
+        if terminal st || st.ps <> S_wait then (st, [])
+        else begin
+          let st, timer = arm { st with ps = S_pre; coord = src } in
+          (st, [ Sim.Engine.Send (src, Ack); timer ])
+        end
+    | Ack ->
+        if terminal st || st.ps <> S_pre || st.pid <> st.coord || List.mem src st.acks then
+          (st, [])
+        else begin
+          let acks = src :: st.acks in
+          (* every yes-voter other than the coordinator must ack *)
+          let expected = List.length st.votes - 1 in
+          if List.length acks >= expected then broadcast_outcome { st with acks } 1
+          else ({ st with acks }, [])
+        end
+    | Commit -> if terminal st then (st, []) else decide_commit st
+    | Abort -> if terminal st then (st, []) else decide_abort st
+    | Inquiry ->
+        (* Answer with our state; adopt the inquirer as coordinator and keep a
+           timer running in case it also dies. *)
+        if terminal st then (st, [ Sim.Engine.Send (src, State_report st.ps) ])
+        else begin
+          let st, timer = arm { st with coord = src; inquiring = false } in
+          (st, [ Sim.Engine.Send (src, State_report st.ps); timer ])
+        end
+    | State_report s ->
+        if terminal st then
+          (* a timed-out process escalated to us after we finished: relay *)
+          (st, [ Sim.Engine.Send (src, if st.ps = S_committed then Commit else Abort) ])
+        else if st.inquiring then begin
+          let reports =
+            if List.mem_assoc src st.reports then st.reports else (src, s) :: st.reports
+          in
+          ({ st with reports }, [])
+        end
+        else
+          (* someone escalated to us: run the termination protocol *)
+          start_inquiry { st with reports = [] }
+
+  let on_timer ~n ~pid:_ st ~tag =
+    if tag <> st.epoch || terminal st then (st, [])
+    else if st.inquiring then
+      (* collection window over: resolve from whatever arrived *)
+      broadcast_outcome st (resolve_reports st.reports)
+    else if st.pid = st.coord then begin
+      (* original coordinator timing out: missing votes mean a crash before
+         pre-commit (abort); missing acks mean a crash after (commit) *)
+      match st.ps with
+      | S_wait -> broadcast_outcome st 0
+      | S_pre -> broadcast_outcome st 1
+      | S_init | S_committed | S_aborted -> (st, [])
+    end
+    else begin
+      (* escalate to the next coordinator in line *)
+      let next = (st.coord + 1) mod n in
+      if next = st.pid then start_inquiry st
+      else begin
+        let st, timer = arm { st with coord = next } in
+        (st, [ Sim.Engine.Send (next, State_report st.ps); timer ])
+      end
+    end
+end

@@ -1,0 +1,21 @@
+(** Three-phase commit with a timeout-based termination protocol.
+
+    The contrast to {!Two_phase_commit}: by adding a pre-commit phase and
+    {e timeouts} (i.e. by leaving the purely asynchronous FLP model for a
+    synchronous one), commit becomes non-blocking under a single crash-stop
+    failure.  Where 2PC's yes-voters block forever when the coordinator
+    dies in the window, 3PC participants time out, elect the next process in
+    pid order as recovery coordinator, pool their states, and finish:
+    any pre-committed survivor forces commit, otherwise abort.
+
+    The timeout constant assumes message delays well under
+    {!timeout_delay}; with heavy-tailed delay distributions the synchrony
+    assumption is violated and the protocol may mis-terminate — which is
+    exactly the trade FLP says you are making. *)
+
+type msg
+
+val timeout_delay : float
+(** Local timer duration; the synchrony bound the protocol relies on. *)
+
+module App : Sim.Engine.APP with type msg = msg

@@ -1,0 +1,49 @@
+type msg = Vote_req | Vote of int | Outcome of int
+
+module App = struct
+  type role =
+    | Coordinator of { votes : (int * int) list }  (* collected (src, vote) *)
+    | Participant
+
+  type state = { role : role; vote : int; done_ : bool }
+
+  type nonrec msg = msg
+
+  let name = "2pc"
+
+  (* The coordinator commits iff all n votes (its own included) are yes. *)
+  let outcome_when_complete ~n votes =
+    if List.length votes < n then None
+    else Some (if List.for_all (fun (_, v) -> v = 1) votes then 1 else 0)
+
+  let coordinator_collect ~n st votes =
+    match outcome_when_complete ~n votes with
+    | Some o ->
+        ( { st with role = Coordinator { votes }; done_ = true },
+          [ Sim.Engine.Decide o; Sim.Engine.Broadcast (Outcome o) ] )
+    | None -> ({ st with role = Coordinator { votes } }, [])
+
+  let init ~n ~pid ~input ~rng:_ =
+    if pid = 0 then
+      let st = { role = Coordinator { votes = [] }; vote = input; done_ = false } in
+      let st, acts = coordinator_collect ~n st [ (0, input) ] in
+      (st, Sim.Engine.Broadcast Vote_req :: acts)
+    else ({ role = Participant; vote = input; done_ = false }, [])
+
+  let on_message ~n ~pid:_ st ~src msg =
+    match (st.role, msg) with
+    | Participant, Vote_req ->
+        if st.done_ then (st, [])
+        else if st.vote = 0 then
+          (* A no-voter knows the outcome must be abort. *)
+          ({ st with done_ = true }, [ Sim.Engine.Send (0, Vote 0); Sim.Engine.Decide 0 ])
+        else (st, [ Sim.Engine.Send (0, Vote 1) ])
+    | Participant, Outcome o ->
+        if st.done_ then (st, []) else ({ st with done_ = true }, [ Sim.Engine.Decide o ])
+    | Coordinator { votes }, Vote v ->
+        if st.done_ || List.mem_assoc src votes then (st, [])
+        else coordinator_collect ~n st ((src, v) :: votes)
+    | Coordinator _, (Vote_req | Outcome _) | Participant, Vote _ -> (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end

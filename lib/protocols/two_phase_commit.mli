@@ -1,0 +1,16 @@
+(** Two-phase commit — the transaction commit problem that motivates FLP §1.
+
+    Process 0 is the coordinator (and also votes).  It broadcasts a vote
+    request, collects all [n] votes, and broadcasts the outcome: commit (1)
+    iff every vote was yes.  A participant that votes no aborts unilaterally.
+
+    2PC is purely asynchronous — no timeouts — so it exhibits the classic
+    {e window of vulnerability}: if the coordinator crashes after a
+    yes-voter has voted but before the outcome arrives, that participant is
+    blocked forever (the run ends [Quiescent] with undecided processes).
+    The impossibility result says {e every} commit protocol has such a
+    window; experiment E7 measures where this one's is. *)
+
+type msg
+
+module App : Sim.Engine.APP with type msg = msg

@@ -1,0 +1,49 @@
+type t =
+  | Constant of float
+  | Uniform of float * float
+  | Exponential of float
+  | Pareto of { scale : float; shape : float }
+
+let epsilon = 1e-9
+
+let sample t rng =
+  let d =
+    match t with
+    | Constant d -> d
+    | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+    | Exponential mean -> Rng.exponential rng mean
+    | Pareto { scale; shape } -> Rng.pareto rng ~scale ~shape
+  in
+  Float.max epsilon d
+
+let mean = function
+  | Constant d -> d
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Exponential m -> m
+  | Pareto { scale; shape } ->
+      if shape <= 1.0 then infinity else shape *. scale /. (shape -. 1.0)
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "const:%g" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform:%g,%g" lo hi
+  | Exponential m -> Format.fprintf ppf "exp:%g" m
+  | Pareto { scale; shape } -> Format.fprintf ppf "pareto:%g,%g" scale shape
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "cannot parse delay spec %S" s) in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let floats () =
+        match String.split_on_char ',' rest with
+        | parts -> (
+            try Some (List.map float_of_string parts) with Failure _ -> None)
+      in
+      match (kind, floats ()) with
+      | "const", Some [ d ] -> Ok (Constant d)
+      | "uniform", Some [ lo; hi ] when lo <= hi -> Ok (Uniform (lo, hi))
+      | "exp", Some [ m ] -> Ok (Exponential m)
+      | "pareto", Some [ scale; shape ] -> Ok (Pareto { scale; shape })
+      | _ -> fail ())

@@ -1,0 +1,237 @@
+type 'msg action =
+  | Send of int * 'msg
+  | Broadcast of 'msg
+  | Set_timer of float * int
+  | Decide of int
+
+module type APP = sig
+  type state
+  type msg
+
+  val name : string
+  val init : n:int -> pid:int -> input:int -> rng:Rng.t -> state * msg action list
+  val on_message : n:int -> pid:int -> state -> src:int -> msg -> state * msg action list
+  val on_timer : n:int -> pid:int -> state -> tag:int -> state * msg action list
+end
+
+type outcome = All_decided | Quiescent | Limit_reached
+
+type result = {
+  decisions : int option array;
+  decision_times : float array;
+  sent : int;
+  delivered : int;
+  steps : int;
+  end_time : float;
+  outcome : outcome;
+  violations : string list;
+}
+
+type cfg = {
+  n : int;
+  inputs : int array;
+  delays : Delay.t;
+  crash_times : float option array;
+  seed : int;
+  max_steps : int;
+  max_time : float;
+}
+
+let default_cfg ~n ~inputs ~seed =
+  {
+    n;
+    inputs;
+    delays = Delay.Uniform (0.1, 1.0);
+    crash_times = Array.make n None;
+    seed;
+    max_steps = 1_000_000;
+    max_time = 1e9;
+  }
+
+let agreement_ok r =
+  let seen = ref None in
+  Array.for_all
+    (function
+      | None -> true
+      | Some v -> (
+          match !seen with
+          | None ->
+              seen := Some v;
+              true
+          | Some w -> v = w))
+    r.decisions
+
+let validity_ok ~inputs r =
+  Array.for_all
+    (function None -> true | Some v -> Array.exists (fun x -> x = v) inputs)
+    r.decisions
+
+let decided_count r =
+  Array.fold_left (fun acc d -> if d = None then acc else acc + 1) 0 r.decisions
+
+module Make (A : APP) = struct
+  type ev = Deliver of { dest : int; src : int; msg : A.msg } | Timer of { pid : int; tag : int }
+
+  let no_corruption ~pid:_ actions = actions
+
+  let no_trace (_ : Trace.event) = ()
+
+  let run_states_corrupted cfg ~on_event ~corrupt ~trace =
+    if Array.length cfg.inputs <> cfg.n then invalid_arg "Engine.run: inputs length";
+    if Array.length cfg.crash_times <> cfg.n then invalid_arg "Engine.run: crash_times length";
+    let master = Rng.create cfg.seed in
+    let net_rng = Rng.split master in
+    let proc_rngs = Array.init cfg.n (fun _ -> Rng.split master) in
+    let states = Array.make cfg.n None in
+    let decisions = Array.make cfg.n None in
+    let decision_times = Array.make cfg.n nan in
+    let violations = ref [] in
+    let heap : ev Heap.t = Heap.create () in
+    let now = ref 0.0 in
+    let sent = ref 0 in
+    let delivered = ref 0 in
+    let steps = ref 0 in
+    let crashed pid =
+      match cfg.crash_times.(pid) with Some t -> !now >= t | None -> false
+    in
+    let violation fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    let send ~src ~dest msg =
+      incr sent;
+      let latency = Delay.sample cfg.delays net_rng in
+      Heap.push heap ~time:(!now +. latency) (Deliver { dest; src; msg })
+    in
+    let rec apply_actions pid actions =
+      match actions with
+      | [] -> ()
+      | Send (dest, msg) :: rest ->
+          if dest < 0 || dest >= cfg.n then violation "p%d sent to bad pid %d" pid dest
+          else send ~src:pid ~dest msg;
+          apply_actions pid rest
+      | Broadcast msg :: rest ->
+          for dest = 0 to cfg.n - 1 do
+            if dest <> pid then send ~src:pid ~dest msg
+          done;
+          apply_actions pid rest
+      | Set_timer (delay, tag) :: rest ->
+          Heap.push heap ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag });
+          apply_actions pid rest
+      | Decide v :: rest ->
+          (match decisions.(pid) with
+          | None ->
+              decisions.(pid) <- Some v;
+              decision_times.(pid) <- !now;
+              trace (Trace.Decision { time = !now; pid; value = v })
+          | Some w when w = v -> ()
+          | Some w -> violation "p%d re-decided %d after %d (write-once violated)" pid v w);
+          apply_actions pid rest
+    in
+    let apply_actions pid actions = apply_actions pid (corrupt ~pid actions) in
+    (* Initialisation: each process takes its first step from its initial
+       state before any delivery, mirroring the paper's initial
+       configuration with an empty buffer. *)
+    for pid = 0 to cfg.n - 1 do
+      if not (crashed pid) then begin
+        let st, actions = A.init ~n:cfg.n ~pid ~input:cfg.inputs.(pid) ~rng:proc_rngs.(pid) in
+        states.(pid) <- Some st;
+        apply_actions pid actions
+      end
+    done;
+    let all_decided () =
+      let ok = ref true in
+      for pid = 0 to cfg.n - 1 do
+        if (not (crashed pid)) && decisions.(pid) = None then ok := false
+      done;
+      !ok
+    in
+    let outcome = ref Quiescent in
+    let running = ref true in
+    while !running do
+      if all_decided () then begin
+        outcome := All_decided;
+        running := false
+      end
+      else if !steps >= cfg.max_steps || !now > cfg.max_time then begin
+        outcome := Limit_reached;
+        running := false
+      end
+      else
+        match Heap.pop heap with
+        | None ->
+            outcome := Quiescent;
+            running := false
+        | Some (t, ev) -> (
+            now := t;
+            incr steps;
+            match ev with
+            | Deliver { dest; src; msg } ->
+                if not (crashed dest) then begin
+                  incr delivered;
+                  on_event t (Printf.sprintf "deliver %d->%d" src dest);
+                  trace (Trace.Delivery { time = t; src; dst = dest });
+                  match states.(dest) with
+                  | None -> ()
+                  | Some st ->
+                      let st', actions = A.on_message ~n:cfg.n ~pid:dest st ~src msg in
+                      states.(dest) <- Some st';
+                      apply_actions dest actions
+                end
+            | Timer { pid; tag } ->
+                if not (crashed pid) then begin
+                  on_event t (Printf.sprintf "timer p%d tag=%d" pid tag);
+                  trace (Trace.Timer_fired { time = t; pid; tag });
+                  match states.(pid) with
+                  | None -> ()
+                  | Some st ->
+                      let st', actions = A.on_timer ~n:cfg.n ~pid st ~tag in
+                      states.(pid) <- Some st';
+                      apply_actions pid actions
+                end)
+    done;
+    let result =
+      {
+        decisions;
+        decision_times;
+        sent = !sent;
+        delivered = !delivered;
+        steps = !steps;
+        end_time = !now;
+        outcome = !outcome;
+        violations = List.rev !violations;
+      }
+    in
+    let result =
+      if not (agreement_ok result) then
+        { result with violations = "agreement violated" :: result.violations }
+      else result
+    in
+    (result, states)
+
+  let quiet _ _ = ()
+
+  let run_verbose cfg ~on_event =
+    fst (run_states_corrupted cfg ~on_event ~corrupt:no_corruption ~trace:no_trace)
+
+  let run cfg = run_verbose cfg ~on_event:quiet
+
+  let run_states cfg =
+    run_states_corrupted cfg ~on_event:quiet ~corrupt:no_corruption ~trace:no_trace
+
+  let run_corrupted ~corrupt cfg =
+    fst (run_states_corrupted cfg ~on_event:quiet ~corrupt ~trace:no_trace)
+
+  let run_traced cfg =
+    let events = ref [] in
+    let result, _ =
+      run_states_corrupted cfg ~on_event:quiet ~corrupt:no_corruption
+        ~trace:(fun e -> events := e :: !events)
+    in
+    let crashes =
+      Array.to_list cfg.crash_times
+      |> List.mapi (fun pid c -> (pid, c))
+      |> List.filter_map (fun (pid, c) ->
+             match c with
+             | Some t when t <= result.end_time -> Some (Trace.Crash { time = t; pid })
+             | Some _ | None -> None)
+    in
+    (result, Trace.sort (List.rev_append !events crashes))
+end

@@ -1,0 +1,107 @@
+(** Asynchronous discrete-event simulation engine.
+
+    This is the executable counterpart of the FLP §2 message system: delivery
+    is reliable and exactly-once, but latency is unbounded (drawn from a
+    {!Delay.t}) so messages arrive out of order and "arbitrarily late".
+    Processes are event-driven automata: they react to message deliveries and
+    (for protocols living in stronger models, such as 3PC or failure-detector
+    algorithms) to local timers.  Pure asynchronous protocols simply never set
+    timers, so they observe no clock at all.
+
+    Faults are crash-stop: a crashed process silently ignores every later
+    event, exactly the "unannounced process death" of the paper.  Messages it
+    sent before crashing are still delivered — the buffer is reliable. *)
+
+type 'msg action =
+  | Send of int * 'msg  (** send to one process (self-sends allowed) *)
+  | Broadcast of 'msg  (** atomic broadcast to all {e other} processes *)
+  | Set_timer of float * int  (** fire a local timer after a delay, with a tag *)
+  | Decide of int
+      (** write the output register; the engine enforces write-once *)
+
+(** A protocol running on the engine.  All callbacks are pure state
+    transformers returning the new state plus emitted actions. *)
+module type APP = sig
+  type state
+  type msg
+
+  val name : string
+
+  val init : n:int -> pid:int -> input:int -> rng:Rng.t -> state * msg action list
+  (** Called once per process before any event.  [rng] is a private stream
+      for the process (e.g. Ben-Or coin flips); deterministic protocols
+      ignore it. *)
+
+  val on_message : n:int -> pid:int -> state -> src:int -> msg -> state * msg action list
+
+  val on_timer : n:int -> pid:int -> state -> tag:int -> state * msg action list
+end
+
+type outcome =
+  | All_decided  (** every live process wrote its output register *)
+  | Quiescent
+      (** no events remain but some live process is undecided: the run
+          blocked — FLP's "window of vulnerability" made visible *)
+  | Limit_reached  (** step or time budget exhausted *)
+
+type result = {
+  decisions : int option array;  (** output register per process *)
+  decision_times : float array;  (** simulated decision instant (or nan) *)
+  sent : int;  (** messages handed to the network *)
+  delivered : int;  (** messages delivered to live processes *)
+  steps : int;  (** events processed *)
+  end_time : float;  (** simulated time at termination *)
+  outcome : outcome;
+  violations : string list;
+      (** write-once or agreement violations observed during the run *)
+}
+
+type cfg = {
+  n : int;
+  inputs : int array;  (** one input per process *)
+  delays : Delay.t;
+  crash_times : float option array;  (** [Some t] crashes the process at [t] *)
+  seed : int;
+  max_steps : int;
+  max_time : float;
+}
+
+val default_cfg : n:int -> inputs:int array -> seed:int -> cfg
+(** Uniform(0.1, 1.0) delays, no crashes, generous limits. *)
+
+val agreement_ok : result -> bool
+(** No two decided processes chose different values. *)
+
+val validity_ok : inputs:int array -> result -> bool
+(** Every decided value was some process's input. *)
+
+val decided_count : result -> int
+
+module Make (A : APP) : sig
+  val run : cfg -> result
+
+  val run_verbose : cfg -> on_event:(float -> string -> unit) -> result
+  (** Like [run] but reports each processed event for tracing/demos. *)
+
+  val run_states : cfg -> result * A.state option array
+  (** Like [run], additionally returning each process's final internal state
+      ([None] for initially-dead processes that never initialised), for
+      protocol-specific invariant checks in tests and benches. *)
+
+  val run_traced : cfg -> result * Trace.event list
+  (** Like [run], additionally returning the time-ordered trace of
+      deliveries, timer firings, decisions, and crashes, ready for
+      {!Trace.pp_diagram}. *)
+
+  val run_corrupted :
+    corrupt:(pid:int -> A.msg action list -> A.msg action list) -> cfg -> result
+  (** Byzantine faults: every action list a process emits passes through
+      [corrupt] before the engine executes it.  A Byzantine process is one
+      whose [corrupt ~pid] rewrites sends (equivocation: replace a
+      [Broadcast] by contradictory [Send]s), drops them, or invents traffic;
+      honest processes use the identity.  FLP proper needs only crash
+      faults — this hook serves the Byzantine-tolerant protocols of the
+      paper's reference list (Bracha-style reliable broadcast).  Note that
+      agreement/validity helpers do not know which processes are corrupt;
+      exclude them in the harness. *)
+end

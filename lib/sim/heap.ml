@@ -1,0 +1,77 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int; mutable next_seq : int }
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let clear h =
+  h.data <- [||];
+  h.len <- 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap entry in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
+
+let push h ~time value =
+  let entry = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let i = ref (h.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    if before h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent;
+      true
+    end
+    else false
+  do
+    ()
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let root = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (root.time, root.value)
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.data.(0).time

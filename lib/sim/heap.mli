@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by [(time, sequence-number)].
+
+    The sequence number breaks ties deterministically: two events scheduled
+    for the same instant pop in insertion order, which keeps whole simulations
+    reproducible across runs and platforms. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an element with the given timestamp. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest element, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,47 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    All randomness in the library flows from a single [Rng.t] so that every
+    experiment, test, and benchmark is reproducible from a seed.  [split]
+    derives an independent stream, which lets each simulated process own a
+    private generator whose draws do not depend on global interleaving. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copies evolve independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bit : t -> int
+(** Fair coin as [0] or [1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val pareto : t -> scale:float -> shape:float -> float
+(** Heavy-tailed Pareto draw with minimum [scale] and tail index [shape]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

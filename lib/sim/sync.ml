@@ -1,0 +1,137 @@
+module type ROUND_APP = sig
+  type state
+  type msg
+
+  val name : string
+  val init : n:int -> pid:int -> input:int -> rng:Rng.t -> state
+  val send : n:int -> round:int -> pid:int -> state -> (int * msg) list
+  val recv : n:int -> round:int -> pid:int -> state -> (int * msg) list -> state
+  val output : state -> int option
+end
+
+type crash = { round : int; sends_before_crash : int }
+
+type cfg = {
+  n : int;
+  inputs : int array;
+  crashes : crash option array;
+  loss : round:int -> src:int -> dest:int -> bool;
+  max_rounds : int;
+  seed : int;
+}
+
+let no_loss ~round:_ ~src:_ ~dest:_ = false
+
+let default_cfg ~n ~inputs ~seed =
+  { n; inputs; crashes = Array.make n None; loss = no_loss; max_rounds = 1000; seed }
+
+type result = {
+  decisions : int option array;
+  decision_rounds : int array;
+  rounds : int;
+  sent : int;
+  delivered : int;
+  violations : string list;
+}
+
+let agreement_ok r =
+  let seen = ref None in
+  Array.for_all
+    (function
+      | None -> true
+      | Some v -> (
+          match !seen with
+          | None ->
+              seen := Some v;
+              true
+          | Some w -> v = w))
+    r.decisions
+
+module Make (A : ROUND_APP) = struct
+  let run cfg =
+    if Array.length cfg.inputs <> cfg.n then invalid_arg "Sync.run: inputs length";
+    let master = Rng.create cfg.seed in
+    let rngs = Array.init cfg.n (fun _ -> Rng.split master) in
+    let states =
+      Array.init cfg.n (fun pid -> A.init ~n:cfg.n ~pid ~input:cfg.inputs.(pid) ~rng:rngs.(pid))
+    in
+    let decisions = Array.make cfg.n None in
+    let decision_rounds = Array.make cfg.n (-1) in
+    let violations = ref [] in
+    let sent = ref 0 in
+    let delivered = ref 0 in
+    (* A process is silent from the round after its crash; in its crash round
+       only a prefix of its outbox escapes. *)
+    let crashed_before pid round =
+      match cfg.crashes.(pid) with Some c -> c.round < round | None -> false
+    in
+    let record_outputs round =
+      Array.iteri
+        (fun pid st ->
+          if not (crashed_before pid (round + 1)) then
+            match (A.output st, decisions.(pid)) with
+            | Some v, None ->
+                decisions.(pid) <- Some v;
+                decision_rounds.(pid) <- round
+            | Some v, Some w when v <> w ->
+                violations := Printf.sprintf "p%d changed decision %d->%d" pid w v :: !violations
+            | _ -> ())
+        states
+    in
+    record_outputs 0;
+    let all_live_decided round =
+      let ok = ref true in
+      for pid = 0 to cfg.n - 1 do
+        if (not (crashed_before pid round)) && decisions.(pid) = None then ok := false
+      done;
+      !ok
+    in
+    let round = ref 0 in
+    let running = ref true in
+    while !running do
+      incr round;
+      let r = !round in
+      if r > cfg.max_rounds || all_live_decided r then begin
+        decr round;
+        running := false
+      end
+      else begin
+        let inboxes = Array.make cfg.n [] in
+        for pid = 0 to cfg.n - 1 do
+          if not (crashed_before pid r) then begin
+            let outbox = A.send ~n:cfg.n ~round:r ~pid states.(pid) in
+            let limit =
+              match cfg.crashes.(pid) with
+              | Some c when c.round = r -> c.sends_before_crash
+              | _ -> List.length outbox
+            in
+            List.iteri
+              (fun i (dest, msg) ->
+                if i < limit && dest >= 0 && dest < cfg.n then begin
+                  incr sent;
+                  if not (cfg.loss ~round:r ~src:pid ~dest) then begin
+                    incr delivered;
+                    inboxes.(dest) <- (pid, msg) :: inboxes.(dest)
+                  end
+                end)
+              outbox
+          end
+        done;
+        for pid = 0 to cfg.n - 1 do
+          if not (crashed_before pid (r + 1)) then begin
+            let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(pid) in
+            states.(pid) <- A.recv ~n:cfg.n ~round:r ~pid states.(pid) inbox
+          end
+        done;
+        record_outputs r
+      end
+    done;
+    {
+      decisions;
+      decision_rounds;
+      rounds = !round;
+      sent = !sent;
+      delivered = !delivered;
+      violations = List.rev !violations;
+    }
+end

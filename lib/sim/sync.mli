@@ -1,0 +1,67 @@
+(** Synchronous (lock-step round) simulator.
+
+    FLP contrasts its asynchronous impossibility with the synchronous world,
+    "the Byzantine Generals problem", where solutions are known.  This module
+    provides that world: computation proceeds in numbered rounds, every
+    message sent in round [r] is received at the start of round [r+1], and a
+    process that crashes mid-round may reach only a prefix of its recipients
+    (the classic partial-broadcast crash semantics that makes FloodSet need
+    [f+1] rounds).
+
+    A loss filter lets experiments model the Dwork–Lynch–Stockmeyer partially
+    synchronous network in which messages may be lost before the Global
+    Stabilization Time and are delivered reliably afterwards. *)
+
+module type ROUND_APP = sig
+  type state
+  type msg
+
+  val name : string
+
+  val init : n:int -> pid:int -> input:int -> rng:Rng.t -> state
+
+  val send : n:int -> round:int -> pid:int -> state -> (int * msg) list
+  (** Messages to emit this round, as [(destination, payload)] pairs. *)
+
+  val recv : n:int -> round:int -> pid:int -> state -> (int * msg) list -> state
+  (** Consume this round's inbox ([(source, payload)] pairs, source-sorted). *)
+
+  val output : state -> int option
+  (** Decision, if reached.  The simulator enforces write-once. *)
+end
+
+type crash = {
+  round : int;  (** the round in which the process fails *)
+  sends_before_crash : int;
+      (** how many of that round's outgoing messages escape before it stops *)
+}
+
+type cfg = {
+  n : int;
+  inputs : int array;
+  crashes : crash option array;
+  loss : round:int -> src:int -> dest:int -> bool;
+      (** [true] means the message is lost (partial-synchrony experiments);
+          use {!no_loss} for the reliable network. *)
+  max_rounds : int;
+  seed : int;
+}
+
+val no_loss : round:int -> src:int -> dest:int -> bool
+
+val default_cfg : n:int -> inputs:int array -> seed:int -> cfg
+
+type result = {
+  decisions : int option array;
+  decision_rounds : int array;  (** round of decision, or -1 *)
+  rounds : int;  (** rounds actually executed *)
+  sent : int;
+  delivered : int;
+  violations : string list;
+}
+
+val agreement_ok : result -> bool
+
+module Make (A : ROUND_APP) : sig
+  val run : cfg -> result
+end

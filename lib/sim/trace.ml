@@ -1,0 +1,65 @@
+type event =
+  | Delivery of { time : float; src : int; dst : int }
+  | Timer_fired of { time : float; pid : int; tag : int }
+  | Decision of { time : float; pid : int; value : int }
+  | Crash of { time : float; pid : int }
+
+let time_of = function
+  | Delivery { time; _ } | Timer_fired { time; _ } | Decision { time; _ } | Crash { time; _ }
+    ->
+      time
+
+let sort events = List.stable_sort (fun a b -> compare (time_of a) (time_of b)) events
+
+let pp_event ppf = function
+  | Delivery { time; src; dst } -> Format.fprintf ppf "%6.2f  p%d -> p%d" time src dst
+  | Timer_fired { time; pid; tag } -> Format.fprintf ppf "%6.2f  p%d timer %d" time pid tag
+  | Decision { time; pid; value } ->
+      Format.fprintf ppf "%6.2f  p%d decides %d" time pid value
+  | Crash { time; pid } -> Format.fprintf ppf "%6.2f  p%d crashes" time pid
+
+let lane_width = 9
+
+let pp_diagram ~n ppf events =
+  let center = Array.init n (fun i -> (i * lane_width) + (lane_width / 2)) in
+  let width = n * lane_width in
+  let header = Bytes.make width ' ' in
+  Array.iteri
+    (fun pid c ->
+      let label = Printf.sprintf "p%d" pid in
+      Bytes.blit_string label 0 header (min (width - 2) c) (String.length label))
+    center;
+  Format.fprintf ppf "  time  %s@." (Bytes.to_string header);
+  let lane_line alive =
+    let b = Bytes.make width ' ' in
+    Array.iteri (fun pid c -> if alive.(pid) then Bytes.set b c '|') center;
+    b
+  in
+  let alive = Array.make n true in
+  List.iter
+    (fun ev ->
+      let line = lane_line alive in
+      (match ev with
+      | Delivery { src; dst; _ } when src <> dst ->
+          let a = center.(src) and b = center.(dst) in
+          let lo = min a b and hi = max a b in
+          for i = lo + 1 to hi - 1 do
+            Bytes.set line i '-'
+          done;
+          Bytes.set line a 'o';
+          Bytes.set line b (if b > a then '>' else '<')
+      | Delivery { src; _ } -> Bytes.set line center.(src) '@'
+      | Timer_fired { pid; _ } -> Bytes.set line center.(pid) 't'
+      | Decision { pid; _ } -> Bytes.set line center.(pid) 'D'
+      | Crash { pid; _ } ->
+          Bytes.set line center.(pid) 'X';
+          alive.(pid) <- false);
+      let note =
+        match ev with
+        | Decision { value; pid; _ } -> Printf.sprintf "  p%d decides %d" pid value
+        | Crash { pid; _ } -> Printf.sprintf "  p%d crashes" pid
+        | Timer_fired { pid; tag; _ } -> Printf.sprintf "  p%d timeout (tag %d)" pid tag
+        | Delivery _ -> ""
+      in
+      Format.fprintf ppf "%6.2f  %s%s@." (time_of ev) (Bytes.to_string line) note)
+    events

@@ -1,0 +1,23 @@
+(** Structured execution traces and ASCII space-time diagrams.
+
+    A trace is the sequence of observable events of one engine run —
+    deliveries, timer firings, decisions, crashes — in time order.
+    {!pp_diagram} renders it in the style of the message diagrams used in
+    distributed-computing papers: one column per process, time flowing
+    downward, arrows for messages. *)
+
+type event =
+  | Delivery of { time : float; src : int; dst : int }
+  | Timer_fired of { time : float; pid : int; tag : int }
+  | Decision of { time : float; pid : int; value : int }
+  | Crash of { time : float; pid : int }
+
+val time_of : event -> float
+
+val sort : event list -> event list
+(** Stable sort by time. *)
+
+val pp_diagram : n:int -> Format.formatter -> event list -> unit
+(** Render the events (assumed sorted) as an ASCII space-time diagram. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,43 @@
+type t = { lo : float; hi : float; width : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+
+let bin_of t x =
+  let bins = Array.length t.counts in
+  if x < t.lo then 0
+  else if x >= t.hi then bins - 1
+  else Stdlib.min (bins - 1) (int_of_float ((x -. t.lo) /. t.width))
+
+let add t x =
+  let i = bin_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bin_count t i = t.counts.(i)
+
+let bin_bounds t i =
+  (t.lo +. (float_of_int i *. t.width), t.lo +. (float_of_int (i + 1) *. t.width))
+
+let mode_bin t =
+  if t.total = 0 then -1
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+    !best
+  end
+
+let pp ppf t =
+  let maxc = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let lo, hi = bin_bounds t i in
+        let bar = String.make (Stdlib.max 1 (c * 40 / maxc)) '#' in
+        Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@." lo hi c bar
+      end)
+    t.counts

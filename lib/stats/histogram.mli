@@ -1,0 +1,21 @@
+(** Fixed-width histograms for latency / round-count distributions. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Values outside [\[lo, hi)] land in saturating edge bins. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val bin_count : t -> int -> int
+(** Occupancy of bin [i] (0-based). *)
+
+val bin_bounds : t -> int -> float * float
+
+val mode_bin : t -> int
+(** Index of the fullest bin ([-1] when empty). *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering, one line per non-empty bin. *)

@@ -1,0 +1,39 @@
+(** Online descriptive statistics (Welford's algorithm).
+
+    Used by the benchmark harness to aggregate per-seed measurements into the
+    mean / stddev / percentile rows reported in EXPERIMENTS.md. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val add_list : t -> float list -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+
+val max : t -> float
+
+val total : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]], by linear interpolation over the
+    retained samples.  [nan] when empty. *)
+
+val ci95 : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean; [0.] when fewer than two samples. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line ["mean ± ci (min … max, n=k)"] rendering. *)

@@ -1,0 +1,110 @@
+type aggregate = {
+  trials : int;
+  all_decided : int;
+  blocked : int;
+  limited : int;
+  agreement_violations : int;
+  validity_violations : int;
+  decision_time : Stats.Summary.t;
+  messages : Stats.Summary.t;
+  steps : Stats.Summary.t;
+}
+
+let empty () =
+  {
+    trials = 0;
+    all_decided = 0;
+    blocked = 0;
+    limited = 0;
+    agreement_violations = 0;
+    validity_violations = 0;
+    decision_time = Stats.Summary.create ();
+    messages = Stats.Summary.create ();
+    steps = Stats.Summary.create ();
+  }
+
+let pp_aggregate ppf a =
+  Format.fprintf ppf
+    "trials=%d decided=%d blocked=%d limited=%d agree-viol=%d valid-viol=%d | time %a | msgs %a"
+    a.trials a.all_decided a.blocked a.limited a.agreement_violations a.validity_violations
+    Stats.Summary.pp a.decision_time Stats.Summary.pp a.messages
+
+module Async (A : Sim.Engine.APP) = struct
+  module E = Sim.Engine.Make (A)
+
+  let run_one = E.run
+
+  let run ~seeds ~cfg () =
+    List.fold_left
+      (fun acc seed ->
+        let c = cfg ~seed in
+        let r = E.run c in
+        let last_decision =
+          Array.fold_left
+            (fun m t -> if Float.is_nan t then m else Float.max m t)
+            0.0 r.decision_times
+        in
+        if Sim.Engine.decided_count r > 0 then
+          Stats.Summary.add acc.decision_time last_decision;
+        Stats.Summary.add acc.messages (float_of_int r.sent);
+        Stats.Summary.add acc.steps (float_of_int r.steps);
+        {
+          acc with
+          trials = acc.trials + 1;
+          all_decided = (acc.all_decided + if r.outcome = Sim.Engine.All_decided then 1 else 0);
+          blocked = (acc.blocked + if r.outcome = Sim.Engine.Quiescent then 1 else 0);
+          limited = (acc.limited + if r.outcome = Sim.Engine.Limit_reached then 1 else 0);
+          agreement_violations =
+            (acc.agreement_violations + if Sim.Engine.agreement_ok r then 0 else 1);
+          validity_violations =
+            (acc.validity_violations
+            + if Sim.Engine.validity_ok ~inputs:c.inputs r then 0 else 1);
+        })
+      (empty ()) seeds
+end
+
+module Round (A : Sim.Sync.ROUND_APP) = struct
+  module S = Sim.Sync.Make (A)
+
+  let run_one = S.run
+
+  let run ~seeds ~cfg () =
+    List.fold_left
+      (fun acc seed ->
+        let c = cfg ~seed in
+        let r = S.run c in
+        let decided = Array.exists (fun d -> d <> None) r.decisions in
+        let all_live_decided =
+          (* live = never crashed in this schedule *)
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun pid d -> d <> None || c.crashes.(pid) <> None)
+               r.decisions)
+        in
+        let last_round =
+          Array.fold_left (fun m rd -> if rd >= 0 then max m rd else m) 0 r.decision_rounds
+        in
+        if decided then Stats.Summary.add acc.decision_time (float_of_int last_round);
+        Stats.Summary.add acc.messages (float_of_int r.sent);
+        Stats.Summary.add acc.steps (float_of_int r.rounds);
+        let validity_ok =
+          Array.for_all
+            (function
+              | None -> true
+              | Some v -> Array.exists (fun x -> x = v) c.inputs)
+            r.decisions
+        in
+        {
+          acc with
+          trials = acc.trials + 1;
+          all_decided = (acc.all_decided + if all_live_decided then 1 else 0);
+          blocked =
+            (acc.blocked + if (not all_live_decided) && r.rounds < c.max_rounds then 1 else 0);
+          limited =
+            (acc.limited + if (not all_live_decided) && r.rounds >= c.max_rounds then 1 else 0);
+          agreement_violations =
+            (acc.agreement_violations + if Sim.Sync.agreement_ok r then 0 else 1);
+          validity_violations = (acc.validity_violations + if validity_ok then 0 else 1);
+        })
+      (empty ()) seeds
+end

@@ -1,0 +1,43 @@
+(** Multi-seed experiment driver.
+
+    Runs an engine or round application across a batch of seeded trials and
+    aggregates the quantities the benchmark tables report: how often the run
+    terminated/blocked, decision latency, message and round counts, and
+    whether any trial violated agreement or validity. *)
+
+type aggregate = {
+  trials : int;
+  all_decided : int;  (** trials in which every live process decided *)
+  blocked : int;  (** trials ending quiescent with undecided live processes *)
+  limited : int;  (** trials that hit the step/round budget *)
+  agreement_violations : int;
+  validity_violations : int;
+  decision_time : Stats.Summary.t;  (** simulated time (or rounds) to last decision *)
+  messages : Stats.Summary.t;
+  steps : Stats.Summary.t;  (** engine events (or rounds executed) *)
+}
+
+val pp_aggregate : Format.formatter -> aggregate -> unit
+
+module Async (A : Sim.Engine.APP) : sig
+  val run :
+    seeds:int list ->
+    cfg:(seed:int -> Sim.Engine.cfg) ->
+    unit ->
+    aggregate
+  (** Run one trial per seed; [cfg] builds the per-trial configuration (so a
+      scenario can vary inputs or crashes with the seed). *)
+
+  val run_one : Sim.Engine.cfg -> Sim.Engine.result
+end
+
+module Round (A : Sim.Sync.ROUND_APP) : sig
+  val run :
+    seeds:int list ->
+    cfg:(seed:int -> Sim.Sync.cfg) ->
+    unit ->
+    aggregate
+  (** As {!Async.run}; [decision_time] and [steps] count rounds. *)
+
+  val run_one : Sim.Sync.cfg -> Sim.Sync.result
+end

@@ -1,0 +1,71 @@
+let all_same n v = Array.make n v
+
+let split n ~ones =
+  if ones < 0 || ones > n then invalid_arg "Scenario.split: ones out of range";
+  Array.init n (fun i -> if i < ones then 1 else 0)
+
+let alternating n = Array.init n (fun i -> i land 1)
+
+let random_inputs rng n = Array.init n (fun _ -> Sim.Rng.bit rng)
+
+let all_vectors n =
+  List.init (1 lsl n) (fun bits ->
+      Array.init n (fun i -> if bits land (1 lsl i) <> 0 then 1 else 0))
+
+let no_crashes n = Array.make n None
+
+let initially_dead n dead =
+  let a = Array.make n None in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then invalid_arg "Scenario.initially_dead: pid out of range";
+      a.(p) <- Some 0.0)
+    dead;
+  a
+
+let crash_at n schedule =
+  let a = Array.make n None in
+  List.iter
+    (fun (p, t) ->
+      if p < 0 || p >= n then invalid_arg "Scenario.crash_at: pid out of range";
+      a.(p) <- Some t)
+    schedule;
+  a
+
+let distinct_pids rng n count =
+  if count > n then invalid_arg "Scenario: more crashes than processes";
+  let pids = Array.init n Fun.id in
+  Sim.Rng.shuffle rng pids;
+  Array.to_list (Array.sub pids 0 count)
+
+let random_initially_dead rng n ~count = initially_dead n (distinct_pids rng n count)
+
+let sync_no_crashes n = Array.make n None
+
+let sync_crashes n schedule =
+  let a = Array.make n None in
+  List.iter (fun (p, c) -> a.(p) <- Some c) schedule;
+  a
+
+let random_sync_crashes rng ~n ~f ~max_round =
+  let a = Array.make n None in
+  List.iter
+    (fun p ->
+      a.(p) <-
+        Some
+          {
+            Sim.Sync.round = 1 + Sim.Rng.int rng (max 1 max_round);
+            sends_before_crash = Sim.Rng.int rng n;
+          })
+    (distinct_pids rng n f);
+  a
+
+(* Deterministic hash of the message coordinates mixed with the seed, so the
+   same (seed, gst, p) names one fixed lossy prefix. *)
+let gst_loss ~seed ~gst ~p ~round ~src ~dest =
+  round < gst
+  &&
+  let h = Sim.Rng.create ((seed * 1_000_003) + (round * 10_007) + (src * 101) + dest) in
+  Sim.Rng.float h 1.0 < p
+
+let lossless ~round:_ ~src:_ ~dest:_ = false

@@ -1,0 +1,52 @@
+(** Workload generators: input vectors, crash schedules, and loss patterns.
+
+    Everything is a pure function of explicit parameters and a seed, so a
+    scenario written into EXPERIMENTS.md regenerates byte-identically. *)
+
+(** {2 Input vectors} *)
+
+val all_same : int -> int -> int array
+(** [all_same n v] — unanimous inputs. *)
+
+val split : int -> ones:int -> int array
+(** [split n ~ones] — the first [ones] processes hold 1, the rest 0. *)
+
+val alternating : int -> int array
+
+val random_inputs : Sim.Rng.t -> int -> int array
+
+val all_vectors : int -> int array list
+(** All [2^n] input vectors in binary order (small [n] only). *)
+
+(** {2 Crash schedules (asynchronous engine)} *)
+
+val no_crashes : int -> float option array
+
+val initially_dead : int -> int list -> float option array
+(** The §4 fault model: the listed processes never take a step. *)
+
+val crash_at : int -> (int * float) list -> float option array
+
+val random_initially_dead : Sim.Rng.t -> int -> count:int -> float option array
+(** [count] distinct processes dead from the start, chosen uniformly. *)
+
+(** {2 Crash schedules (synchronous rounds)} *)
+
+val sync_no_crashes : int -> Sim.Sync.crash option array
+
+val sync_crashes : int -> (int * Sim.Sync.crash) list -> Sim.Sync.crash option array
+
+val random_sync_crashes :
+  Sim.Rng.t -> n:int -> f:int -> max_round:int -> Sim.Sync.crash option array
+(** Up to [f] distinct processes crash in uniformly chosen rounds with
+    uniformly chosen partial-broadcast cut-offs — the adversarial placement
+    FloodSet's [f + 1] bound is tight against. *)
+
+(** {2 Message loss (partial synchrony)} *)
+
+val gst_loss : seed:int -> gst:int -> p:float -> round:int -> src:int -> dest:int -> bool
+(** Loss predicate for {!Sim.Sync.cfg}: before round [gst] each message is
+    lost independently with probability [p] (deterministically in the seed
+    and the message coordinates); from round [gst] on, nothing is lost. *)
+
+val lossless : round:int -> src:int -> dest:int -> bool

@@ -1,0 +1,121 @@
+module AA = Protocols.Approx_agreement
+
+(* n = 5, f = 2, inputs in {0, 100}: initial range 100, epsilon 1 needs
+   ceil(log2 100) = 7 rounds at the ideal factor; allow slack for
+   adversarial collection skew. *)
+module App = AA.Make (struct
+  let f = 2
+
+  let rounds = 12
+
+  let input_scale = 100.0
+end)
+
+module E = Sim.Engine.Make (App)
+
+let cfg ?(n = 5) ?(dead = []) ?(delays = Sim.Delay.Uniform (0.1, 1.0)) ~inputs seed =
+  {
+    (Sim.Engine.default_cfg ~n ~inputs ~seed) with
+    delays;
+    crash_times = Workload.Scenario.initially_dead n dead;
+    max_steps = 300_000;
+  }
+
+let final_values states =
+  Array.to_list states
+  |> List.filter_map (Option.map AA.final_value)
+
+let spread values =
+  List.fold_left Float.max neg_infinity values -. List.fold_left Float.min infinity values
+
+let test_rounds_for () =
+  Alcotest.(check int) "range<=eps" 0 (AA.rounds_for ~range:0.5 ~epsilon:1.0);
+  Alcotest.(check int) "100/1" 7 (AA.rounds_for ~range:100.0 ~epsilon:1.0);
+  Alcotest.(check int) "8/1" 3 (AA.rounds_for ~range:8.0 ~epsilon:1.0);
+  Alcotest.check_raises "epsilon>0"
+    (Invalid_argument "Approx_agreement.rounds_for: epsilon must be positive") (fun () ->
+      ignore (AA.rounds_for ~range:1.0 ~epsilon:0.0))
+
+let test_fixed_point () =
+  Alcotest.(check (float 1e-6)) "roundtrip" 3.25 (AA.of_fixed (AA.to_fixed 3.25))
+
+let test_unanimous_stays () =
+  let r, states = E.run_states (cfg ~inputs:[| 1; 1; 1; 1; 1 |] 1) in
+  Alcotest.(check bool) "decides" true (r.outcome = Sim.Engine.All_decided);
+  List.iter
+    (fun v -> Alcotest.(check (float 1e-6)) "stays at 100" 100.0 v)
+    (final_values states)
+
+let test_converges_failure_free () =
+  for seed = 1 to 25 do
+    let r, states = E.run_states (cfg ~inputs:[| 0; 1; 0; 1; 1 |] seed) in
+    Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided);
+    let vals = final_values states in
+    Alcotest.(check bool) "epsilon agreement" true (spread vals <= 1.0);
+    List.iter
+      (fun v -> Alcotest.(check bool) "validity: within input range" true (v >= 0.0 && v <= 100.0))
+      vals
+  done
+
+let test_converges_with_f_dead () =
+  for seed = 1 to 25 do
+    let r, states = E.run_states (cfg ~dead:[ 0; 3 ] ~inputs:[| 0; 1; 0; 1; 1 |] seed) in
+    Alcotest.(check bool) "terminates with f dead" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "epsilon agreement" true (spread (final_values states) <= 1.0)
+  done
+
+let test_blocks_beyond_f () =
+  let r = E.run (cfg ~dead:[ 0; 1; 2 ] ~inputs:[| 0; 1; 0; 1; 1 |] 9) in
+  Alcotest.(check bool) "cannot decide without quorum" true
+    (r.outcome = Sim.Engine.Quiescent && Sim.Engine.decided_count r = 0)
+
+let test_heavy_tails () =
+  for seed = 1 to 10 do
+    let delays = Sim.Delay.Pareto { scale = 0.05; shape = 1.3 } in
+    let r, states = E.run_states (cfg ~delays ~inputs:[| 0; 1; 1; 0; 1 |] (100 + seed)) in
+    Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "epsilon agreement" true (spread (final_values states) <= 1.0)
+  done
+
+let test_deterministic_round_count () =
+  (* unlike exact consensus, this is deterministic: no coin, no detector;
+     every process halts after exactly [rounds] averaging rounds, i.e. it
+     broadcasts exactly [rounds] messages *)
+  let r = E.run (cfg ~inputs:[| 0; 1; 0; 1; 1 |] 3) in
+  Alcotest.(check int) "n * rounds broadcasts of (n-1)" (5 * 12 * 4) r.sent
+
+let test_decision_register_fixed_point () =
+  let r, states = E.run_states (cfg ~inputs:[| 0; 1; 0; 1; 1 |] 5) in
+  Array.iteri
+    (fun pid d ->
+      match (d, states.(pid)) with
+      | Some fixed, Some st ->
+          Alcotest.(check (float 1e-5)) "register matches state" (AA.final_value st)
+            (AA.of_fixed fixed)
+      | None, _ | _, None -> Alcotest.fail "undecided")
+    r.decisions
+
+let test_convergence_factor () =
+  (* each round should contract the spread by roughly half; after 12 rounds
+     from range 100 the spread is far below 1 in benign runs *)
+  let _, states = E.run_states (cfg ~inputs:[| 0; 0; 0; 1; 1 |] 11) in
+  Alcotest.(check bool) "strong contraction" true (spread (final_values states) < 0.1)
+
+let () =
+  Alcotest.run "approx_agreement"
+    [
+      ( "approx",
+        [
+          Alcotest.test_case "rounds_for" `Quick test_rounds_for;
+          Alcotest.test_case "fixed point" `Quick test_fixed_point;
+          Alcotest.test_case "unanimous stays" `Quick test_unanimous_stays;
+          Alcotest.test_case "converges failure-free" `Slow test_converges_failure_free;
+          Alcotest.test_case "converges with f dead" `Slow test_converges_with_f_dead;
+          Alcotest.test_case "blocks beyond f" `Quick test_blocks_beyond_f;
+          Alcotest.test_case "heavy tails" `Slow test_heavy_tails;
+          Alcotest.test_case "deterministic round count" `Quick
+            test_deterministic_round_count;
+          Alcotest.test_case "decision register" `Quick test_decision_register_fixed_point;
+          Alcotest.test_case "convergence factor" `Quick test_convergence_factor;
+        ] );
+    ]

@@ -1,0 +1,92 @@
+module B = Sim.Engine.Make (Protocols.Benor.App)
+module BD = Sim.Engine.Make (Protocols.Benor.App_det)
+
+let cfg ?(inputs = fun i -> i land 1) ?(dead = []) n seed =
+  let inputs = Array.init n inputs in
+  let c = Sim.Engine.default_cfg ~n ~inputs ~seed in
+  { c with crash_times = Workload.Scenario.initially_dead n dead; max_steps = 200_000 }
+
+let test_f_of () =
+  List.iter
+    (fun (n, f) -> Alcotest.(check int) (Printf.sprintf "f(%d)" n) f (Protocols.Benor.f_of n))
+    [ (2, 0); (3, 1); (4, 1); (5, 2); (7, 3); (9, 4) ]
+
+let test_unanimous_fast () =
+  List.iter
+    (fun v ->
+      let r = B.run (cfg ~inputs:(fun _ -> v) 5 (10 + v)) in
+      Alcotest.(check bool) "decided" true (r.outcome = Sim.Engine.All_decided);
+      Array.iter
+        (function Some d -> Alcotest.(check int) "unanimous" v d | None -> ())
+        r.decisions)
+    [ 0; 1 ]
+
+let test_agreement_many_seeds () =
+  for seed = 1 to 50 do
+    let r = B.run (cfg 5 seed) in
+    Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    Alcotest.(check bool) "validity" true
+      (Sim.Engine.validity_ok ~inputs:(Array.init 5 (fun i -> i land 1)) r)
+  done
+
+let test_tolerates_f_crashes () =
+  (* n = 5 tolerates f = 2 initially dead processes *)
+  for seed = 1 to 30 do
+    let r = B.run (cfg ~dead:[ 0; 3 ] 5 (100 + seed)) in
+    Alcotest.(check bool) "survivors decide" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check int) "three deciders" 3 (Sim.Engine.decided_count r);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_mid_run_crashes () =
+  for seed = 1 to 30 do
+    let c = cfg 7 (200 + seed) in
+    let crash_times = Array.copy c.crash_times in
+    crash_times.(1) <- Some 0.8;
+    crash_times.(4) <- Some 2.5;
+    crash_times.(6) <- Some 0.1;
+    let r = B.run { c with crash_times } in
+    Alcotest.(check bool) "agreement under crashes" true (Sim.Engine.agreement_ok r);
+    Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided)
+  done
+
+let test_heavy_tail_termination () =
+  for seed = 1 to 10 do
+    let c = cfg 3 (300 + seed) in
+    let r = B.run { c with delays = Sim.Delay.Pareto { scale = 0.05; shape = 1.3 } } in
+    Alcotest.(check bool) "terminates under heavy tails" true
+      (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_deterministic_coin_agreement () =
+  (* the deterministic-coin variant stays safe even where it risks livelock *)
+  for seed = 1 to 30 do
+    let r = BD.run (cfg 3 (400 + seed)) in
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_no_decision_without_quorum () =
+  (* with more than f initially dead, survivors cannot assemble n - f
+     reports: the run must block rather than decide wrongly *)
+  let r = B.run (cfg ~dead:[ 0; 1; 2 ] 5 999) in
+  Alcotest.(check int) "nobody decides" 0 (Sim.Engine.decided_count r);
+  Alcotest.(check bool) "blocked" true (r.outcome = Sim.Engine.Quiescent)
+
+let () =
+  Alcotest.run "benor"
+    [
+      ( "benor",
+        [
+          Alcotest.test_case "f_of" `Quick test_f_of;
+          Alcotest.test_case "unanimous fast" `Quick test_unanimous_fast;
+          Alcotest.test_case "agreement across seeds" `Slow test_agreement_many_seeds;
+          Alcotest.test_case "tolerates f crashes" `Slow test_tolerates_f_crashes;
+          Alcotest.test_case "mid-run crashes" `Slow test_mid_run_crashes;
+          Alcotest.test_case "heavy tails terminate" `Slow test_heavy_tail_termination;
+          Alcotest.test_case "deterministic coin stays safe" `Slow
+            test_deterministic_coin_agreement;
+          Alcotest.test_case "no decision without quorum" `Quick test_no_decision_without_quorum;
+        ] );
+    ]

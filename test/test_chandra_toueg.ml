@@ -1,0 +1,99 @@
+module CT = Sim.Engine.Make (Protocols.Chandra_toueg.App)
+
+module CT_aggressive_app = Protocols.Chandra_toueg.Make (struct
+  let tick = 0.5
+
+  let initial_threshold = 1
+end)
+
+module CT_aggressive = Sim.Engine.Make (CT_aggressive_app)
+
+let cfg ?(inputs = fun i -> i land 1) ?(dead = []) ?(crash = []) n seed =
+  let c = Sim.Engine.default_cfg ~n ~inputs:(Array.init n inputs) ~seed in
+  let crash_times = Workload.Scenario.initially_dead n dead in
+  List.iter (fun (p, t) -> crash_times.(p) <- Some t) crash;
+  { c with crash_times; max_steps = 300_000 }
+
+let test_failure_free_decides () =
+  for seed = 1 to 20 do
+    let r = CT.run (cfg 5 seed) in
+    Alcotest.(check bool) "decides" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    Alcotest.(check bool) "validity" true
+      (Sim.Engine.validity_ok ~inputs:(Array.init 5 (fun i -> i land 1)) r)
+  done
+
+let test_unanimous () =
+  List.iter
+    (fun v ->
+      let r = CT.run (cfg ~inputs:(fun _ -> v) 4 (30 + v)) in
+      Array.iter
+        (function Some d -> Alcotest.(check int) "unanimous" v d | None -> ())
+        r.decisions)
+    [ 0; 1 ]
+
+let test_dead_coordinator_rotates () =
+  (* the coordinator of round 1 (pid 1 mod n) is dead from the start: the
+     detector must eventually suspect it and rotate onwards *)
+  for seed = 1 to 15 do
+    let r = CT.run (cfg ~dead:[ 1 ] 5 (100 + seed)) in
+    Alcotest.(check bool) "survivors decide" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check int) "four decide" 4 (Sim.Engine.decided_count r);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_mid_run_coordinator_crash () =
+  for seed = 1 to 15 do
+    let r = CT.run (cfg ~crash:[ (1, 1.0) ] 5 (200 + seed)) in
+    Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_f_crashes_tolerated () =
+  (* n = 5 tolerates 2 crash faults *)
+  for seed = 1 to 10 do
+    let r = CT.run (cfg ~dead:[ 0; 2 ] 5 (300 + seed)) in
+    Alcotest.(check bool) "decides with f dead" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_aggressive_detector_still_safe () =
+  (* threshold 1 produces many false suspicions; the protocol may need more
+     rounds but must never disagree *)
+  for seed = 1 to 20 do
+    let r = CT_aggressive.run (cfg 5 (400 + seed)) in
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    Alcotest.(check bool) "no write-once violations" true (r.violations = [])
+  done
+
+let test_aggressive_detector_slower () =
+  (* on average the trigger-happy detector costs extra coordination rounds,
+     visible as more messages *)
+  let total run =
+    let s = ref 0 in
+    for seed = 1 to 10 do
+      let (r : Sim.Engine.result) = run (cfg 5 (500 + seed)) in
+      s := !s + r.sent
+    done;
+    !s
+  in
+  let patient = total CT.run in
+  let aggressive = total CT_aggressive.run in
+  Alcotest.(check bool) "false suspicions cost messages" true (aggressive > patient)
+
+let () =
+  Alcotest.run "chandra_toueg"
+    [
+      ( "chandra-toueg",
+        [
+          Alcotest.test_case "failure-free decides" `Slow test_failure_free_decides;
+          Alcotest.test_case "unanimous" `Quick test_unanimous;
+          Alcotest.test_case "dead coordinator rotates" `Slow test_dead_coordinator_rotates;
+          Alcotest.test_case "mid-run coordinator crash" `Slow test_mid_run_coordinator_crash;
+          Alcotest.test_case "f crashes tolerated" `Slow test_f_crashes_tolerated;
+          Alcotest.test_case "aggressive detector safe" `Slow
+            test_aggressive_detector_still_safe;
+          Alcotest.test_case "aggressive detector slower" `Slow
+            test_aggressive_detector_slower;
+        ] );
+    ]

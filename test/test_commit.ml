@@ -1,0 +1,130 @@
+module P2 = Sim.Engine.Make (Protocols.Two_phase_commit.App)
+module P3 = Sim.Engine.Make (Protocols.Three_phase_commit.App)
+
+let cfg ?(inputs = fun _ -> 1) ?(crash = []) n seed =
+  let c = Sim.Engine.default_cfg ~n ~inputs:(Array.init n inputs) ~seed in
+  { c with crash_times = Workload.Scenario.crash_at n crash }
+
+let test_2pc_all_yes_commits () =
+  let r = P2.run (cfg 5 1) in
+  Alcotest.(check bool) "all decided" true (r.outcome = Sim.Engine.All_decided);
+  Array.iter (fun d -> Alcotest.(check (option int)) "commit" (Some 1) d) r.decisions
+
+let test_2pc_one_no_aborts () =
+  let r = P2.run (cfg ~inputs:(fun i -> if i = 2 then 0 else 1) 5 2) in
+  Alcotest.(check bool) "all decided" true (r.outcome = Sim.Engine.All_decided);
+  Array.iter (fun d -> Alcotest.(check (option int)) "abort" (Some 0) d) r.decisions
+
+let test_2pc_coordinator_no () =
+  let r = P2.run (cfg ~inputs:(fun i -> if i = 0 then 0 else 1) 4 3) in
+  Array.iter (fun d -> Alcotest.(check (option int)) "abort" (Some 0) d) r.decisions
+
+let test_2pc_window_blocks () =
+  (* the coordinator dies after collecting votes, before the outcome: all
+     yes-voters are blocked forever — FLP's window of vulnerability *)
+  let r = P2.run (cfg ~crash:[ (0, 1.2) ] 5 4) in
+  Alcotest.(check bool) "quiescent" true (r.outcome = Sim.Engine.Quiescent);
+  Alcotest.(check int) "no participant decided" 0 (Sim.Engine.decided_count r)
+
+let test_2pc_crash_before_voting_blocks_undecided () =
+  let r = P2.run (cfg ~crash:[ (0, 0.0) ] 5 5) in
+  Alcotest.(check bool) "quiescent" true (r.outcome = Sim.Engine.Quiescent);
+  Alcotest.(check int) "nobody decided" 0 (Sim.Engine.decided_count r)
+
+let test_2pc_commit_implies_all_yes () =
+  for seed = 1 to 40 do
+    let inputs = Array.init 5 (fun _ -> Sim.Rng.bit (Sim.Rng.create (seed * 31))) in
+    let c = Sim.Engine.default_cfg ~n:5 ~inputs ~seed in
+    let r = P2.run c in
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    Array.iter
+      (function
+        | Some 1 ->
+            Alcotest.(check bool) "commit implies unanimous yes" true
+              (Array.for_all (fun v -> v = 1) inputs)
+        | Some _ | None -> ())
+      r.decisions
+  done
+
+let test_3pc_matches_2pc_without_faults () =
+  for seed = 1 to 20 do
+    let inputs = Array.init 4 (fun i -> (seed lsr i) land 1) in
+    let c = Sim.Engine.default_cfg ~n:4 ~inputs ~seed in
+    let r2 = P2.run c and r3 = P3.run c in
+    let d2 = r2.decisions.(1) and d3 = r3.decisions.(1) in
+    Alcotest.(check (option int)) "same outcome" d2 d3
+  done
+
+let test_3pc_nonblocking_coordinator_crash_sweep () =
+  (* wherever 2PC blocks, 3PC terminates for the survivors *)
+  List.iter
+    (fun t ->
+      let r = P3.run (cfg ~crash:[ (0, t) ] 5 6) in
+      Alcotest.(check bool)
+        (Printf.sprintf "crash at %.1f doesn't block" t)
+        true
+        (r.outcome = Sim.Engine.All_decided);
+      (* late crashes let the coordinator decide before dying: >= 4 *)
+      Alcotest.(check bool) "all survivors decide" true (Sim.Engine.decided_count r >= 4);
+      Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r))
+    [ 0.0; 0.4; 0.8; 1.2; 1.6; 2.0; 4.0; 8.0 ]
+
+let test_3pc_safety_commit_implies_yes () =
+  for seed = 1 to 40 do
+    let inputs = Array.init 5 (fun i -> if seed land (1 lsl i) <> 0 then 1 else 0) in
+    let c = Sim.Engine.default_cfg ~n:5 ~inputs ~seed in
+    let crash_times = Array.make 5 None in
+    crash_times.(0) <- (if seed land 1 = 0 then Some (float_of_int (seed mod 7) /. 2.0) else None);
+    let r = P3.run { c with crash_times } in
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    Array.iter
+      (function
+        | Some 1 ->
+            Alcotest.(check bool) "commit implies unanimous yes" true
+              (Array.for_all (fun v -> v = 1) inputs)
+        | Some _ | None -> ())
+      r.decisions
+  done
+
+let test_3pc_participant_crash () =
+  (* a participant (not the coordinator) dying must not block the others *)
+  let r = P3.run (cfg ~crash:[ (2, 0.9) ] 5 7) in
+  Alcotest.(check bool) "terminates" true (r.outcome = Sim.Engine.All_decided);
+  Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+
+let test_window_comparison () =
+  let b2 = ref 0 and b3 = ref 0 in
+  List.iter
+    (fun t ->
+      let r2 = P2.run (cfg ~crash:[ (0, t) ] 5 8) in
+      if r2.outcome = Sim.Engine.Quiescent then incr b2;
+      let r3 = P3.run (cfg ~crash:[ (0, t) ] 5 8) in
+      if r3.outcome = Sim.Engine.Quiescent then incr b3)
+    [ 0.0; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0 ];
+  Alcotest.(check bool) "2pc has a window" true (!b2 > 0);
+  Alcotest.(check int) "3pc has none" 0 !b3
+
+let () =
+  Alcotest.run "commit"
+    [
+      ( "2pc",
+        [
+          Alcotest.test_case "all yes commits" `Quick test_2pc_all_yes_commits;
+          Alcotest.test_case "one no aborts" `Quick test_2pc_one_no_aborts;
+          Alcotest.test_case "coordinator no" `Quick test_2pc_coordinator_no;
+          Alcotest.test_case "window blocks" `Quick test_2pc_window_blocks;
+          Alcotest.test_case "early crash blocks undecided" `Quick
+            test_2pc_crash_before_voting_blocks_undecided;
+          Alcotest.test_case "commit implies all yes" `Slow test_2pc_commit_implies_all_yes;
+        ] );
+      ( "3pc",
+        [
+          Alcotest.test_case "matches 2pc without faults" `Quick
+            test_3pc_matches_2pc_without_faults;
+          Alcotest.test_case "non-blocking crash sweep" `Quick
+            test_3pc_nonblocking_coordinator_crash_sweep;
+          Alcotest.test_case "safety across seeds" `Slow test_3pc_safety_commit_implies_yes;
+          Alcotest.test_case "participant crash" `Quick test_3pc_participant_crash;
+          Alcotest.test_case "window comparison" `Quick test_window_comparison;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+let test_empty () =
+  let g = Digraph.create 3 in
+  Alcotest.(check int) "size" 3 (Digraph.size g);
+  Alcotest.(check int) "edges" 0 (Digraph.edge_count g);
+  Alcotest.(check bool) "no edge" false (Digraph.mem_edge g 0 1)
+
+let test_add_edge () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  (* idempotent *)
+  Alcotest.(check int) "edge count" 1 (Digraph.edge_count g);
+  Alcotest.(check bool) "directed" false (Digraph.mem_edge g 1 0);
+  Alcotest.(check (list int)) "succs" [ 1 ] (Digraph.succs g 0);
+  Alcotest.(check (list int)) "preds" [ 0 ] (Digraph.preds g 1);
+  Alcotest.(check int) "out" 1 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in" 1 (Digraph.in_degree g 1)
+
+let test_bounds () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "range" (Invalid_argument "Digraph: node out of range") (fun () ->
+      Digraph.add_edge g 0 2)
+
+let test_of_edges_roundtrip () =
+  let edges = [ (0, 1); (1, 2); (2, 0); (0, 3) ] in
+  let g = Digraph.of_edges 4 edges in
+  Alcotest.(check (list (pair int int))) "edges" (List.sort compare edges) (Digraph.edges g)
+
+let test_closure_chain () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Digraph.transitive_closure g in
+  Alcotest.(check bool) "0->3" true (Digraph.mem_edge c 0 3);
+  Alcotest.(check bool) "0->2" true (Digraph.mem_edge c 0 2);
+  Alcotest.(check bool) "3->0 absent" false (Digraph.mem_edge c 3 0);
+  Alcotest.(check bool) "no self loop without cycle" false (Digraph.mem_edge c 0 0)
+
+let test_closure_cycle_self_loops () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 0) ] in
+  let c = Digraph.transitive_closure g in
+  Alcotest.(check bool) "0->0 via cycle" true (Digraph.mem_edge c 0 0);
+  Alcotest.(check bool) "isolated stays clean" false (Digraph.mem_edge c 2 2)
+
+let test_ancestors_descendants () =
+  let g = Digraph.of_edges 5 [ (0, 1); (1, 2); (3, 2); (2, 4) ] in
+  Alcotest.(check (list int)) "ancestors of 2" [ 0; 1; 3 ] (Digraph.ancestors g 2);
+  Alcotest.(check (list int)) "descendants of 0" [ 1; 2; 4 ] (Digraph.descendants g 0);
+  Alcotest.(check bool) "reachable" true (Digraph.reachable g 0 4);
+  Alcotest.(check bool) "not reachable" false (Digraph.reachable g 4 0)
+
+let test_ancestors_cycle () =
+  let g = Digraph.of_edges 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check (list int)) "self in own ancestors via cycle" [ 0; 1 ] (Digraph.ancestors g 0)
+
+let test_initial_clique_simple () =
+  (* 0 <-> 1 form the source clique feeding 2 *)
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 0); (0, 2); (1, 2) ] in
+  let c = Digraph.transitive_closure g in
+  Alcotest.(check (list int)) "clique" [ 0; 1 ] (Digraph.initial_clique ~closure:c)
+
+let test_initial_clique_whole () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let c = Digraph.transitive_closure g in
+  Alcotest.(check (list int)) "whole graph" [ 0; 1; 2 ] (Digraph.initial_clique ~closure:c)
+
+let test_sccs_known () =
+  let g = Digraph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 3); (2, 3); (4, 5) ] in
+  let comps = List.sort compare (Digraph.sccs g) in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ] comps
+
+let test_source_sccs () =
+  let g = Digraph.of_edges 5 [ (0, 1); (1, 0); (1, 2); (3, 2); (2, 4) ] in
+  let sources = List.sort compare (Digraph.source_sccs g) in
+  Alcotest.(check (list (list int))) "sources" [ [ 0; 1 ]; [ 3 ] ] sources
+
+let random_graph rng n p =
+  let g = Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Sim.Rng.float rng 1.0 < p then Digraph.add_edge g i j
+    done
+  done;
+  g
+
+let graph_gen =
+  QCheck.Gen.(
+    map2
+      (fun seed n -> random_graph (Sim.Rng.create seed) (n + 2) 0.3)
+      (int_bound 10_000) (int_bound 8))
+
+let arbitrary_graph = QCheck.make ~print:(Format.asprintf "%a" Digraph.pp) graph_gen
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure is idempotent" ~count:200 arbitrary_graph (fun g ->
+      let c = Digraph.transitive_closure g in
+      let cc = Digraph.transitive_closure c in
+      Digraph.edges c = Digraph.edges cc)
+
+let prop_closure_matches_reachability =
+  QCheck.Test.make ~name:"closure edge iff reachable" ~count:100 arbitrary_graph (fun g ->
+      let c = Digraph.transitive_closure g in
+      let n = Digraph.size g in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Digraph.mem_edge c i j <> Digraph.reachable g i j then ok := false
+        done
+      done;
+      !ok)
+
+let prop_initial_clique_is_union_of_source_sccs =
+  QCheck.Test.make ~name:"initial clique = union of source SCCs of the closure" ~count:200
+    arbitrary_graph (fun g ->
+      let c = Digraph.transitive_closure g in
+      let clique = Digraph.initial_clique ~closure:c in
+      let sources = List.concat (Digraph.source_sccs c) in
+      List.sort compare clique = List.sort compare sources)
+
+let prop_sccs_partition =
+  QCheck.Test.make ~name:"SCCs partition the nodes" ~count:200 arbitrary_graph (fun g ->
+      let nodes = List.concat (Digraph.sccs g) in
+      List.sort compare nodes = List.init (Digraph.size g) Fun.id)
+
+let prop_copy_independent =
+  QCheck.Test.make ~name:"copy does not alias" ~count:100 arbitrary_graph (fun g ->
+      let g' = Digraph.copy g in
+      let before = Digraph.edges g in
+      (if Digraph.size g' >= 2 then
+         let i, j = (0, Digraph.size g' - 1) in
+         if not (Digraph.mem_edge g' i j) then Digraph.add_edge g' i j);
+      Digraph.edges g = before)
+
+let () =
+  Alcotest.run "digraph"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add edge" `Quick test_add_edge;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "of_edges roundtrip" `Quick test_of_edges_roundtrip;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "chain" `Quick test_closure_chain;
+          Alcotest.test_case "cycle self loops" `Quick test_closure_cycle_self_loops;
+          Alcotest.test_case "ancestors/descendants" `Quick test_ancestors_descendants;
+          Alcotest.test_case "ancestors in cycle" `Quick test_ancestors_cycle;
+        ] );
+      ( "clique+scc",
+        [
+          Alcotest.test_case "initial clique simple" `Quick test_initial_clique_simple;
+          Alcotest.test_case "initial clique whole" `Quick test_initial_clique_whole;
+          Alcotest.test_case "sccs known" `Quick test_sccs_known;
+          Alcotest.test_case "source sccs" `Quick test_source_sccs;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_closure_idempotent;
+          QCheck_alcotest.to_alcotest prop_closure_matches_reachability;
+          QCheck_alcotest.to_alcotest prop_initial_clique_is_union_of_source_sccs;
+          QCheck_alcotest.to_alcotest prop_sccs_partition;
+          QCheck_alcotest.to_alcotest prop_copy_independent;
+        ] );
+    ]

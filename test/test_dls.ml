@@ -1,0 +1,99 @@
+module D1 = Sim.Sync.Make (Protocols.Dls.Make (struct
+  let f = 1
+end))
+
+module D2 = Sim.Sync.Make (Protocols.Dls.Make (struct
+  let f = 2
+end))
+
+let cfg ?(inputs = fun i -> i land 1) ?(max_rounds = 400) n seed =
+  { (Sim.Sync.default_cfg ~n ~inputs:(Array.init n inputs) ~seed) with max_rounds }
+
+let test_lossless_decides_first_phase () =
+  let r = D1.run (cfg 3 1) in
+  Alcotest.(check bool) "everyone decides" true
+    (Array.for_all (fun d -> d <> None) r.decisions);
+  Alcotest.(check bool) "within one phase + delivery" true (r.rounds <= 8);
+  Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r)
+
+let test_unanimous_validity () =
+  List.iter
+    (fun v ->
+      let r = D2.run (cfg ~inputs:(fun _ -> v) 5 2) in
+      Array.iter
+        (function
+          | Some d -> Alcotest.(check int) "unanimous stays" v d
+          | None -> Alcotest.fail "undecided")
+        r.decisions)
+    [ 0; 1 ]
+
+let decision_round r =
+  Array.fold_left (fun acc dr -> if dr >= 0 then max acc dr else acc) (-1) r.Sim.Sync.decision_rounds
+
+let test_no_decision_before_gst_under_total_loss () =
+  (* drop everything before GST: no phase can assemble a quorum *)
+  List.iter
+    (fun gst ->
+      let loss ~round ~src:_ ~dest:_ = round < gst in
+      let r = D1.run { (cfg 3 3) with loss } in
+      Alcotest.(check bool)
+        (Printf.sprintf "gst=%d: decision after gst" gst)
+        true
+        (decision_round r >= gst);
+      Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r);
+      Alcotest.(check bool) "decides soon after gst" true
+        (decision_round r <= gst + (4 * 3)))
+    [ 5; 13; 40 ]
+
+let test_probabilistic_loss () =
+  for seed = 1 to 25 do
+    let loss = Workload.Scenario.gst_loss ~seed ~gst:25 ~p:0.6 in
+    let r = D2.run { (cfg 5 seed) with loss } in
+    Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r);
+    Alcotest.(check bool) "eventually decides" true
+      (Array.for_all (fun d -> d <> None) r.decisions)
+  done
+
+let test_crashed_coordinator_skipped () =
+  (* coordinator of phase 0 is process 0; crash it before it can act — the
+     rotation must still decide in a later phase *)
+  let c = cfg 5 4 in
+  let crashes = Array.copy c.crashes in
+  crashes.(0) <- Some { Sim.Sync.round = 1; sends_before_crash = 0 };
+  let r = D2.run { c with crashes } in
+  Alcotest.(check bool) "phase 1 or later decides" true (decision_round r > 4);
+  Array.iteri
+    (fun pid d ->
+      if pid <> 0 then Alcotest.(check bool) "live decided" true (d <> None))
+    r.decisions;
+  Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r)
+
+let test_safety_under_adversarial_loss_and_crashes () =
+  let rng = Sim.Rng.create 5 in
+  for seed = 1 to 60 do
+    let n = 5 in
+    let gst = 1 + Sim.Rng.int rng 40 in
+    let loss = Workload.Scenario.gst_loss ~seed ~gst ~p:0.8 in
+    let crashes = Workload.Scenario.random_sync_crashes rng ~n ~f:2 ~max_round:30 in
+    let c = { (cfg n seed) with loss; crashes } in
+    let r = D2.run c in
+    Alcotest.(check bool) "agreement always" true (Sim.Sync.agreement_ok r);
+    Alcotest.(check bool) "no violations" true (r.violations = [])
+  done
+
+let () =
+  Alcotest.run "dls"
+    [
+      ( "dls",
+        [
+          Alcotest.test_case "lossless decides fast" `Quick test_lossless_decides_first_phase;
+          Alcotest.test_case "unanimous validity" `Quick test_unanimous_validity;
+          Alcotest.test_case "no decision before GST" `Quick
+            test_no_decision_before_gst_under_total_loss;
+          Alcotest.test_case "probabilistic loss" `Slow test_probabilistic_loss;
+          Alcotest.test_case "crashed coordinator skipped" `Quick
+            test_crashed_coordinator_skipped;
+          Alcotest.test_case "safety under loss+crashes" `Slow
+            test_safety_under_adversarial_loss_and_crashes;
+        ] );
+    ]

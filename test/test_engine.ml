@@ -1,0 +1,226 @@
+(* A tiny echo application to exercise the engine itself: every process
+   broadcasts a token, decides on the count of tokens received. *)
+module Echo = struct
+  type state = { got : int; n : int }
+
+  type msg = Token
+
+  let name = "echo"
+
+  let init ~n ~pid:_ ~input:_ ~rng:_ = ({ got = 0; n }, [ Sim.Engine.Broadcast Token ])
+
+  let on_message ~n:_ ~pid:_ st ~src:_ Token =
+    let st = { st with got = st.got + 1 } in
+    if st.got = st.n - 1 then (st, [ Sim.Engine.Decide st.got ]) else (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module E = Sim.Engine.Make (Echo)
+
+(* Timer application: decides after [k] timer firings. *)
+module Ticker = struct
+  type state = int
+
+  type msg = unit
+
+  let name = "ticker"
+
+  let init ~n:_ ~pid:_ ~input:_ ~rng:_ = (0, [ Sim.Engine.Set_timer (1.0, 0) ])
+
+  let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ =
+    let st = st + 1 in
+    if st = 3 then (st, [ Sim.Engine.Decide st ])
+    else (st, [ Sim.Engine.Set_timer (1.0, 0) ])
+end
+
+module T = Sim.Engine.Make (Ticker)
+
+(* Deliberately buggy app: re-decides with a different value. *)
+module Redecider = struct
+  type state = unit
+
+  type msg = unit
+
+  let name = "redecider"
+
+  let init ~n:_ ~pid:_ ~input:_ ~rng:_ = ((), [ Sim.Engine.Decide 0; Sim.Engine.Decide 1 ])
+
+  let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module R = Sim.Engine.Make (Redecider)
+
+let base n seed = Sim.Engine.default_cfg ~n ~inputs:(Array.make n 0) ~seed
+
+let test_all_deliver () =
+  let r = E.run (base 4 1) in
+  Alcotest.(check bool) "all decided" true (r.outcome = Sim.Engine.All_decided);
+  Alcotest.(check int) "n*(n-1) sent" 12 r.sent;
+  Alcotest.(check int) "all delivered" 12 r.delivered;
+  Array.iter (fun d -> Alcotest.(check (option int)) "count" (Some 3) d) r.decisions
+
+let test_determinism () =
+  let r1 = E.run (base 5 42) and r2 = E.run (base 5 42) in
+  Alcotest.(check int) "steps equal" r1.steps r2.steps;
+  Alcotest.(check (float 1e-12)) "time equal" r1.end_time r2.end_time
+
+let test_seed_changes_schedule () =
+  let r1 = E.run (base 5 1) and r2 = E.run (base 5 2) in
+  Alcotest.(check bool) "different end times" true (r1.end_time <> r2.end_time)
+
+let test_crashed_ignores_events () =
+  let cfg = base 4 3 in
+  let crash_times = Array.copy cfg.crash_times in
+  crash_times.(0) <- Some 0.0;
+  let r = E.run { cfg with crash_times } in
+  (* p0 never initialises: it sends nothing and receives nothing *)
+  Alcotest.(check int) "only 3 broadcasters" 9 r.sent;
+  Alcotest.(check (option int)) "p0 undecided" None r.decisions.(0);
+  (* survivors expect n-1 = 3 tokens but only 2 arrive: blocked *)
+  Alcotest.(check bool) "quiescent" true (r.outcome = Sim.Engine.Quiescent)
+
+let test_mid_run_crash () =
+  let cfg = base 4 4 in
+  let crash_times = Array.copy cfg.crash_times in
+  crash_times.(1) <- Some 0.5;
+  let r = E.run { cfg with crash_times } in
+  (* p1 broadcast at init (before 0.5) so others still decide *)
+  Alcotest.(check (option int)) "p1 undecided" None r.decisions.(1);
+  Alcotest.(check (option int)) "p0 decided" (Some 3) r.decisions.(0)
+
+let test_timers () =
+  let r = T.run (base 2 5) in
+  Alcotest.(check bool) "decided by timers" true (r.outcome = Sim.Engine.All_decided);
+  Alcotest.(check (float 1e-9)) "three ticks of 1s" 3.0 r.end_time
+
+let test_max_steps () =
+  let cfg = { (base 2 6) with max_steps = 2 } in
+  let r = T.run cfg in
+  Alcotest.(check bool) "limit reached" true (r.outcome = Sim.Engine.Limit_reached)
+
+let test_write_once_violation_reported () =
+  let r = R.run (base 1 7) in
+  Alcotest.(check bool) "violation recorded" true
+    (List.exists (fun v -> String.length v > 0) r.violations);
+  Alcotest.(check (option int)) "first decision stands" (Some 0) r.decisions.(0)
+
+let test_agreement_helpers () =
+  let mk d =
+    {
+      Sim.Engine.decisions = d;
+      decision_times = Array.make (Array.length d) nan;
+      sent = 0;
+      delivered = 0;
+      steps = 0;
+      end_time = 0.0;
+      outcome = Sim.Engine.All_decided;
+      violations = [];
+    }
+  in
+  Alcotest.(check bool) "agree" true (Sim.Engine.agreement_ok (mk [| Some 1; Some 1; None |]));
+  Alcotest.(check bool) "disagree" false (Sim.Engine.agreement_ok (mk [| Some 1; Some 0 |]));
+  Alcotest.(check bool) "validity ok" true
+    (Sim.Engine.validity_ok ~inputs:[| 0; 1 |] (mk [| Some 1; Some 1 |]));
+  Alcotest.(check bool) "validity broken" false
+    (Sim.Engine.validity_ok ~inputs:[| 0; 0 |] (mk [| Some 1; None |]));
+  Alcotest.(check int) "decided count" 2 (Sim.Engine.decided_count (mk [| Some 1; Some 1; None |]))
+
+let test_cfg_validation () =
+  Alcotest.check_raises "inputs length" (Invalid_argument "Engine.run: inputs length")
+    (fun () -> ignore (E.run { (base 3 1) with inputs = [| 0 |] }))
+
+let test_run_verbose_events () =
+  let events = ref 0 in
+  let _ = E.run_verbose (base 3 8) ~on_event:(fun _ _ -> incr events) in
+  Alcotest.(check int) "six deliveries traced" 6 !events
+
+let test_corrupt_identity_is_run () =
+  let r1 = E.run (base 4 11) in
+  let r2 = E.run_corrupted ~corrupt:(fun ~pid:_ a -> a) (base 4 11) in
+  Alcotest.(check int) "same steps" r1.steps r2.steps;
+  Alcotest.(check (float 1e-12)) "same end time" r1.end_time r2.end_time
+
+let test_corrupt_silence () =
+  (* muting p0 removes its three broadcasts; the echo protocol then blocks *)
+  let corrupt ~pid actions = if pid = 0 then [] else actions in
+  let r = E.run_corrupted ~corrupt (base 4 12) in
+  Alcotest.(check int) "nine messages only" 9 r.sent;
+  Alcotest.(check bool) "blocked" true (r.outcome = Sim.Engine.Quiescent)
+
+let test_corrupt_can_decide_for_process () =
+  (* corruption operates on actions, including Decide: a Byzantine process
+     can write any output; harnesses must exclude it from agreement checks *)
+  let corrupt ~pid actions =
+    if pid = 2 then Sim.Engine.Decide 99 :: actions else actions
+  in
+  let r = E.run_corrupted ~corrupt (base 3 13) in
+  Alcotest.(check (option int)) "forged decision" (Some 99) r.decisions.(2)
+
+let test_self_send () =
+  let module Selfie = struct
+    type state = unit
+
+    type msg = unit
+
+    let name = "selfie"
+
+    let init ~n:_ ~pid ~input:_ ~rng:_ = ((), [ Sim.Engine.Send (pid, ()) ])
+
+    let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [ Sim.Engine.Decide 1 ])
+
+    let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+  end in
+  let module S = Sim.Engine.Make (Selfie) in
+  let r = S.run (Sim.Engine.default_cfg ~n:2 ~inputs:[| 0; 0 |] ~seed:1) in
+  Alcotest.(check bool) "self-sends deliver" true (r.outcome = Sim.Engine.All_decided);
+  Alcotest.(check int) "two self messages" 2 r.delivered
+
+let test_bad_destination_recorded () =
+  let module Wild = struct
+    type state = unit
+
+    type msg = unit
+
+    let name = "wild"
+
+    let init ~n:_ ~pid:_ ~input:_ ~rng:_ = ((), [ Sim.Engine.Send (42, ()); Sim.Engine.Decide 0 ])
+
+    let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [])
+
+    let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+  end in
+  let module W = Sim.Engine.Make (Wild) in
+  let r = W.run (Sim.Engine.default_cfg ~n:2 ~inputs:[| 0; 0 |] ~seed:1) in
+  Alcotest.(check bool) "violation logged" true
+    (List.exists (fun v -> v <> "") r.violations);
+  Alcotest.(check int) "nothing sent" 0 r.sent
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "all deliver" `Quick test_all_deliver;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed changes schedule" `Quick test_seed_changes_schedule;
+          Alcotest.test_case "initially dead" `Quick test_crashed_ignores_events;
+          Alcotest.test_case "mid-run crash" `Quick test_mid_run_crash;
+          Alcotest.test_case "timers" `Quick test_timers;
+          Alcotest.test_case "max steps" `Quick test_max_steps;
+          Alcotest.test_case "write-once violation" `Quick test_write_once_violation_reported;
+          Alcotest.test_case "agreement helpers" `Quick test_agreement_helpers;
+          Alcotest.test_case "cfg validation" `Quick test_cfg_validation;
+          Alcotest.test_case "verbose tracing" `Quick test_run_verbose_events;
+          Alcotest.test_case "corrupt identity" `Quick test_corrupt_identity_is_run;
+          Alcotest.test_case "corrupt silence" `Quick test_corrupt_silence;
+          Alcotest.test_case "corrupt forged decision" `Quick
+            test_corrupt_can_decide_for_process;
+          Alcotest.test_case "self sends" `Quick test_self_send;
+          Alcotest.test_case "bad destination" `Quick test_bad_destination_recorded;
+        ] );
+    ]

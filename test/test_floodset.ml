@@ -1,0 +1,95 @@
+module FS (K : sig
+  val rounds : int
+end) =
+  Sim.Sync.Make (Protocols.Floodset.Make (K))
+
+module FS3 = FS (struct
+  let rounds = 3
+end)
+
+module FS1 = FS (struct
+  let rounds = 1
+end)
+
+let cfg ?(inputs = fun i -> i land 1) n seed =
+  Sim.Sync.default_cfg ~n ~inputs:(Array.init n inputs) ~seed
+
+let test_decides_in_f_plus_1_rounds () =
+  let r = FS3.run (cfg 5 1) in
+  Alcotest.(check int) "exactly f+1 rounds" 3 r.rounds;
+  Array.iter (fun dr -> Alcotest.(check int) "decision round" 3 dr) r.decision_rounds
+
+let test_decides_min () =
+  let r = FS3.run (cfg ~inputs:(fun i -> if i = 4 then 0 else 1) 5 2) in
+  Array.iter (fun d -> Alcotest.(check (option int)) "min value" (Some 0) d) r.decisions
+
+let test_unanimous () =
+  let r = FS3.run (cfg ~inputs:(fun _ -> 1) 5 3) in
+  Array.iter (fun d -> Alcotest.(check (option int)) "validity" (Some 1) d) r.decisions
+
+let test_agreement_random_adversarial_crashes () =
+  (* f = 2 crashes placed adversarially (random rounds, partial broadcasts):
+     3 rounds always suffice for agreement *)
+  let rng = Sim.Rng.create 7 in
+  for seed = 1 to 200 do
+    let n = 5 in
+    let crashes = Workload.Scenario.random_sync_crashes rng ~n ~f:2 ~max_round:3 in
+    let c = { (cfg n seed) with crashes } in
+    let r = FS3.run c in
+    Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r);
+    (* every process alive at the end decided *)
+    Array.iteri
+      (fun pid d ->
+        if crashes.(pid) = None then
+          Alcotest.(check bool) "live process decided" true (d <> None))
+      r.decisions
+  done
+
+let test_one_round_insufficient_with_crash () =
+  (* with f = 1 actual crash but only 1 round, a partial broadcast can break
+     agreement: search a small space for a witness *)
+  let broken = ref false in
+  for cut = 0 to 4 do
+    for seed = 1 to 5 do
+      let n = 5 in
+      let inputs = Array.init n (fun i -> if i = 0 then 0 else 1) in
+      let crashes = Array.make n None in
+      crashes.(0) <- Some { Sim.Sync.round = 1; sends_before_crash = cut };
+      let c = { (Sim.Sync.default_cfg ~n ~inputs ~seed) with crashes } in
+      let r = FS1.run c in
+      if not (Sim.Sync.agreement_ok r) then broken := true
+    done
+  done;
+  Alcotest.(check bool) "1 round breaks under a crash" true !broken
+
+let test_one_round_sufficient_without_crash () =
+  let r = FS1.run (cfg 5 9) in
+  Alcotest.(check bool) "agreement" true (Sim.Sync.agreement_ok r);
+  Alcotest.(check int) "one round" 1 r.rounds
+
+let test_message_complexity () =
+  (* n(n-1) messages per round *)
+  let n = 6 in
+  let module FS4 = FS (struct
+    let rounds = 4
+  end) in
+  let r = FS4.run (cfg n 10) in
+  Alcotest.(check int) "4 rounds of n(n-1)" (4 * n * (n - 1)) r.sent
+
+let () =
+  Alcotest.run "floodset"
+    [
+      ( "floodset",
+        [
+          Alcotest.test_case "f+1 rounds" `Quick test_decides_in_f_plus_1_rounds;
+          Alcotest.test_case "decides min" `Quick test_decides_min;
+          Alcotest.test_case "unanimous validity" `Quick test_unanimous;
+          Alcotest.test_case "agreement under adversarial crashes" `Slow
+            test_agreement_random_adversarial_crashes;
+          Alcotest.test_case "1 round breaks with crash" `Quick
+            test_one_round_insufficient_with_crash;
+          Alcotest.test_case "1 round fine without crash" `Quick
+            test_one_round_sufficient_without_crash;
+          Alcotest.test_case "message complexity" `Quick test_message_complexity;
+        ] );
+    ]

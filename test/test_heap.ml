@@ -1,0 +1,98 @@
+let test_empty () =
+  let h : int Sim.Heap.t = Sim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Sim.Heap.size h);
+  Alcotest.(check bool) "pop none" true (Sim.Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Sim.Heap.peek_time h = None)
+
+let test_ordering () =
+  let h = Sim.Heap.create () in
+  List.iter (fun t -> Sim.Heap.push h ~time:t (int_of_float (t *. 10.))) [ 3.0; 1.0; 2.0; 0.5 ];
+  let order = List.init 4 (fun _ -> Option.get (Sim.Heap.pop h)) in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "ascending" [ (0.5, 5); (1.0, 10); (2.0, 20); (3.0, 30) ] order
+
+let test_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push h ~time:1.0 v) [ 1; 2; 3; 4; 5 ];
+  let vs = List.init 5 (fun _ -> snd (Option.get (Sim.Heap.pop h))) in
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ] vs
+
+let test_interleaved () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~time:5.0 'a';
+  Sim.Heap.push h ~time:1.0 'b';
+  Alcotest.(check char) "b first" 'b' (snd (Option.get (Sim.Heap.pop h)));
+  Sim.Heap.push h ~time:0.5 'c';
+  Alcotest.(check char) "c next" 'c' (snd (Option.get (Sim.Heap.pop h)));
+  Alcotest.(check char) "a last" 'a' (snd (Option.get (Sim.Heap.pop h)));
+  Alcotest.(check bool) "drained" true (Sim.Heap.is_empty h)
+
+let test_peek () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~time:2.0 ();
+  Sim.Heap.push h ~time:1.0 ();
+  Alcotest.(check (option (float 1e-9))) "peek min" (Some 1.0) (Sim.Heap.peek_time h);
+  Alcotest.(check int) "size intact" 2 (Sim.Heap.size h)
+
+let test_clear () =
+  let h = Sim.Heap.create () in
+  for i = 1 to 10 do
+    Sim.Heap.push h ~time:(float_of_int i) i
+  done;
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h)
+
+let test_growth () =
+  let h = Sim.Heap.create () in
+  for i = 1000 downto 1 do
+    Sim.Heap.push h ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "size" 1000 (Sim.Heap.size h);
+  let prev = ref neg_infinity in
+  for _ = 1 to 1000 do
+    let t, _ = Option.get (Sim.Heap.pop h) in
+    Alcotest.(check bool) "monotone" true (t >= !prev);
+    prev := t
+  done
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"pop order = sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i t -> Sim.Heap.push h ~time:t i) times;
+      let popped = List.init (List.length times) (fun _ -> fst (Option.get (Sim.Heap.pop h))) in
+      popped = List.sort compare times)
+
+let prop_stable =
+  QCheck.Test.make ~name:"ties pop in insertion order" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 3))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h ~time:(float_of_int k) (k, i)) keys;
+      let popped = List.init (List.length keys) (fun _ -> snd (Option.get (Sim.Heap.pop h))) in
+      (* within each key group, the sequence indices must be increasing *)
+      let rec check_groups = function
+        | (k1, i1) :: ((k2, i2) :: _ as rest) ->
+            (if k1 = k2 then i1 < i2 else true) && check_groups rest
+        | _ -> true
+      in
+      check_groups popped)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "growth" `Quick test_growth;
+          QCheck_alcotest.to_alcotest prop_heapsort;
+          QCheck_alcotest.to_alcotest prop_stable;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+module MB = Flp.Msg_buffer.Make (struct
+  type t = string
+
+  let compare = String.compare
+
+  let hash = Hashtbl.hash
+
+  let pp = Format.pp_print_string
+end)
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (MB.is_empty MB.empty);
+  Alcotest.(check int) "size" 0 (MB.size MB.empty);
+  Alcotest.(check (list (pair int string))) "deliverable" [] (MB.deliverable MB.empty)
+
+let test_send_receive () =
+  let b = MB.send MB.empty ~dest:1 "m" in
+  Alcotest.(check int) "size 1" 1 (MB.size b);
+  Alcotest.(check bool) "mem" true (MB.mem b ~dest:1 "m");
+  Alcotest.(check bool) "mem other dest" false (MB.mem b ~dest:2 "m");
+  let b = MB.receive b ~dest:1 "m" in
+  Alcotest.(check bool) "drained" true (MB.is_empty b)
+
+let test_multiset_counts () =
+  let b = MB.send (MB.send MB.empty ~dest:0 "x") ~dest:0 "x" in
+  Alcotest.(check int) "count 2" 2 (MB.count b ~dest:0 "x");
+  Alcotest.(check int) "size 2" 2 (MB.size b);
+  Alcotest.(check int) "one deliverable pair" 1 (List.length (MB.deliverable b));
+  let b = MB.receive b ~dest:0 "x" in
+  Alcotest.(check int) "count 1 after receive" 1 (MB.count b ~dest:0 "x")
+
+let test_receive_missing () =
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (MB.receive MB.empty ~dest:0 "nope"))
+
+let test_receive_exactly_once () =
+  let b = MB.send MB.empty ~dest:3 "m" in
+  let b = MB.receive b ~dest:3 "m" in
+  Alcotest.check_raises "second receive fails" Not_found (fun () ->
+      ignore (MB.receive b ~dest:3 "m"))
+
+let test_canonical_order_independence () =
+  let sends = [ (1, "b"); (0, "a"); (1, "a"); (0, "a"); (2, "c") ] in
+  let apply order = List.fold_left (fun b (d, m) -> MB.send b ~dest:d m) MB.empty order in
+  let b1 = apply sends in
+  let b2 = apply (List.rev sends) in
+  Alcotest.(check bool) "equal" true (MB.equal b1 b2);
+  Alcotest.(check int) "compare" 0 (MB.compare b1 b2);
+  Alcotest.(check int) "hash" (MB.hash b1) (MB.hash b2)
+
+let test_deliverable_sorted () =
+  let b =
+    List.fold_left
+      (fun b (d, m) -> MB.send b ~dest:d m)
+      MB.empty
+      [ (2, "z"); (0, "a"); (1, "m"); (0, "b") ]
+  in
+  Alcotest.(check (list (pair int string)))
+    "canonical order"
+    [ (0, "a"); (0, "b"); (1, "m"); (2, "z") ]
+    (MB.deliverable b)
+
+let test_for_dest () =
+  let b =
+    List.fold_left
+      (fun b (d, m) -> MB.send b ~dest:d m)
+      MB.empty
+      [ (0, "a"); (1, "x"); (0, "b") ]
+  in
+  Alcotest.(check (list string)) "dest 0" [ "a"; "b" ] (MB.for_dest b 0);
+  Alcotest.(check (list string)) "dest 2" [] (MB.for_dest b 2)
+
+let test_to_list () =
+  let b = MB.send (MB.send (MB.send MB.empty ~dest:0 "a") ~dest:0 "a") ~dest:1 "b" in
+  Alcotest.(check bool) "with multiplicity" true
+    (MB.to_list b = [ (0, "a", 2); (1, "b", 1) ])
+
+let ops_gen =
+  QCheck.Gen.(list_size (1 -- 30) (pair (int_bound 3) (oneofl [ "a"; "b"; "c" ])))
+
+let arbitrary_ops = QCheck.make ops_gen
+
+let prop_size_is_sum_of_counts =
+  QCheck.Test.make ~name:"size = sum of multiplicities" ~count:300 arbitrary_ops (fun ops ->
+      let b = List.fold_left (fun b (d, m) -> MB.send b ~dest:d m) MB.empty ops in
+      MB.size b = List.fold_left (fun a (_, _, c) -> a + c) 0 (MB.to_list b)
+      && MB.size b = List.length ops)
+
+let prop_send_receive_roundtrip =
+  QCheck.Test.make ~name:"send then receive restores the buffer" ~count:300
+    QCheck.(pair arbitrary_ops (pair (int_bound 3) (oneofl [ "a"; "b"; "c" ])))
+    (fun (ops, (d, m)) ->
+      let b = List.fold_left (fun b (d, m) -> MB.send b ~dest:d m) MB.empty ops in
+      MB.equal b (MB.receive (MB.send b ~dest:d m) ~dest:d m))
+
+let prop_persistence =
+  QCheck.Test.make ~name:"operations do not mutate older versions" ~count:200 arbitrary_ops
+    (fun ops ->
+      let b = List.fold_left (fun b (d, m) -> MB.send b ~dest:d m) MB.empty ops in
+      let snapshot = MB.to_list b in
+      let _ = MB.send b ~dest:0 "mutant" in
+      (match MB.deliverable b with
+      | (d, m) :: _ -> ignore (MB.receive b ~dest:d m)
+      | [] -> ());
+      MB.to_list b = snapshot)
+
+let () =
+  Alcotest.run "msg_buffer"
+    [
+      ( "msg_buffer",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "send/receive" `Quick test_send_receive;
+          Alcotest.test_case "multiset counts" `Quick test_multiset_counts;
+          Alcotest.test_case "receive missing" `Quick test_receive_missing;
+          Alcotest.test_case "exactly once" `Quick test_receive_exactly_once;
+          Alcotest.test_case "canonical order independence" `Quick
+            test_canonical_order_independence;
+          Alcotest.test_case "deliverable sorted" `Quick test_deliverable_sorted;
+          Alcotest.test_case "for_dest" `Quick test_for_dest;
+          Alcotest.test_case "to_list" `Quick test_to_list;
+          QCheck_alcotest.to_alcotest prop_size_is_sum_of_counts;
+          QCheck_alcotest.to_alcotest prop_send_receive_roundtrip;
+          QCheck_alcotest.to_alcotest prop_persistence;
+        ] );
+    ]

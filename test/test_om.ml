@@ -1,0 +1,120 @@
+module Om = Protocols.Om
+
+let no_traitors n = Array.make n false
+
+let traitors n who =
+  let a = Array.make n false in
+  List.iter (fun i -> a.(i) <- true) who;
+  a
+
+let run ?(strategy = Om.Flip) ?(seed = 1) ~n ~m ~v who =
+  Om.run ~n ~m ~commander_value:v ~traitors:(traitors n who) ~strategy
+    ~rng:(Sim.Rng.create seed)
+
+let test_message_count_formula () =
+  List.iter
+    (fun (n, m) ->
+      let r = run ~n ~m ~v:1 [] in
+      Alcotest.(check int)
+        (Printf.sprintf "OM(%d) n=%d" m n)
+        (Om.message_count ~n ~m) r.messages)
+    [ (4, 0); (4, 1); (7, 1); (7, 2); (10, 2) ]
+
+let test_message_growth () =
+  (* O(n^(m+1)): each extra level multiplies the message count *)
+  let m0 = Om.message_count ~n:10 ~m:0 in
+  let m1 = Om.message_count ~n:10 ~m:1 in
+  let m2 = Om.message_count ~n:10 ~m:2 in
+  Alcotest.(check bool) "superlinear growth" true (m1 > 7 * m0 && m2 > 7 * m1)
+
+let test_om0_loyal () =
+  let r = run ~n:4 ~m:0 ~v:1 [] in
+  Alcotest.(check bool) "ic1" true r.ic1;
+  Alcotest.(check bool) "ic2" true r.ic2;
+  List.iter
+    (fun l -> Alcotest.(check (option int)) "order followed" (Some 1) r.decisions.(l))
+    [ 1; 2; 3 ]
+
+let test_commander_none () =
+  let r = run ~n:4 ~m:1 ~v:0 [] in
+  Alcotest.(check (option int)) "commander has no decision slot" None r.decisions.(0)
+
+let test_n4_m1_traitor_lieutenant () =
+  (* n = 4 > 3m = 3: must satisfy IC1 and IC2 for every strategy *)
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun v ->
+          let r = run ~strategy ~n:4 ~m:1 ~v [ 3 ] in
+          Alcotest.(check bool) "ic1" true r.ic1;
+          Alcotest.(check bool) "ic2" true r.ic2)
+        [ 0; 1 ])
+    [ Om.Flip; Om.Random; Om.Silent ]
+
+let test_n4_m1_traitor_commander () =
+  List.iter
+    (fun strategy ->
+      let r = run ~strategy ~n:4 ~m:1 ~v:1 [ 0 ] in
+      Alcotest.(check bool) "ic1 (loyal lieutenants agree)" true r.ic1;
+      Alcotest.(check bool) "ic2 vacuous" true r.ic2)
+    [ Om.Flip; Om.Random; Om.Silent ]
+
+let test_n3_m1_fails () =
+  (* n = 3 = 3m: the bound is tight.  The classic violation: a traitor
+     lieutenant tells the loyal one that the loyal commander said the
+     opposite, forcing a tie broken to the default — IC2 fails. *)
+  let r = run ~strategy:Om.Flip ~n:3 ~m:1 ~v:1 [ 2 ] in
+  Alcotest.(check bool) "ic2 violated at n = 3m" false r.ic2
+
+let test_n7_m2 () =
+  List.iter
+    (fun who ->
+      let r = run ~strategy:Om.Flip ~n:7 ~m:2 ~v:1 who in
+      Alcotest.(check bool) "ic1" true r.ic1;
+      Alcotest.(check bool) "ic2" true r.ic2)
+    [ [ 1; 2 ]; [ 0; 5 ]; [ 3; 6 ]; [] ]
+
+let test_n6_m2_can_fail () =
+  (* n = 6 <= 3m = 6: some traitor placement/strategy breaks a condition *)
+  let broken = ref false in
+  List.iter
+    (fun who ->
+      List.iter
+        (fun seed ->
+          let r = run ~strategy:Om.Random ~seed ~n:6 ~m:2 ~v:1 who in
+          if (not r.ic1) || not r.ic2 then broken := true)
+        [ 1; 2; 3; 4; 5 ])
+    [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 5 ] ];
+  Alcotest.(check bool) "violation found below the bound" true !broken
+
+let test_silent_sends_fewer () =
+  let loud = run ~strategy:Om.Flip ~n:7 ~m:1 ~v:1 [ 2 ] in
+  let quiet = run ~strategy:Om.Silent ~n:7 ~m:1 ~v:1 [ 2 ] in
+  Alcotest.(check bool) "silent traitors send nothing" true (quiet.messages < loud.messages)
+
+let test_validation () =
+  Alcotest.(check bool) "m < 0 rejected" true
+    (try
+       ignore (Om.run ~n:4 ~m:(-1) ~commander_value:1 ~traitors:(no_traitors 4)
+                 ~strategy:Om.Flip ~rng:(Sim.Rng.create 1));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "om"
+    [
+      ( "om",
+        [
+          Alcotest.test_case "message count formula" `Quick test_message_count_formula;
+          Alcotest.test_case "message growth" `Quick test_message_growth;
+          Alcotest.test_case "OM(0) loyal" `Quick test_om0_loyal;
+          Alcotest.test_case "commander slot" `Quick test_commander_none;
+          Alcotest.test_case "n=4 m=1 traitor lieutenant" `Quick test_n4_m1_traitor_lieutenant;
+          Alcotest.test_case "n=4 m=1 traitor commander" `Quick test_n4_m1_traitor_commander;
+          Alcotest.test_case "n=3 m=1 fails" `Quick test_n3_m1_fails;
+          Alcotest.test_case "n=7 m=2" `Quick test_n7_m2;
+          Alcotest.test_case "n=6 m=2 can fail" `Quick test_n6_m2_can_fail;
+          Alcotest.test_case "silent sends fewer" `Quick test_silent_sends_fewer;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

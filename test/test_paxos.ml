@@ -1,0 +1,155 @@
+module Single_app = Protocols.Paxos.Make (struct
+  let proposers = 1
+
+  let retry = Protocols.Paxos.Backoff 2.0
+end)
+
+module Duel_eager_app = Protocols.Paxos.Make (struct
+  let proposers = 2
+
+  let retry = Protocols.Paxos.Eager 1.0
+end)
+
+module Duel_backoff_app = Protocols.Paxos.Make (struct
+  let proposers = 2
+
+  let retry = Protocols.Paxos.Backoff 1.0
+end)
+
+module Trio_app = Protocols.Paxos.Make (struct
+  let proposers = 3
+
+  let retry = Protocols.Paxos.Backoff 0.5
+end)
+
+module Single = Sim.Engine.Make (Single_app)
+module Duel_eager = Sim.Engine.Make (Duel_eager_app)
+module Duel_backoff = Sim.Engine.Make (Duel_backoff_app)
+module Trio = Sim.Engine.Make (Trio_app)
+
+let cfg ?(n = 5) ?(inputs = [| 0; 1; 0; 1; 1 |]) ?(crash = []) ?(delays = Sim.Delay.Uniform (0.1, 1.0))
+    ?(max_steps = 60_000) seed =
+  let c = Sim.Engine.default_cfg ~n ~inputs ~seed in
+  { c with delays; crash_times = Workload.Scenario.crash_at n crash; max_steps }
+
+let test_single_proposer_decides () =
+  for seed = 1 to 30 do
+    let r = Single.run (cfg seed) in
+    Alcotest.(check bool) "decides" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r);
+    (* the chosen value is the lone proposer's input *)
+    Array.iter
+      (function Some v -> Alcotest.(check int) "leader's value" 0 v | None -> ())
+      r.decisions
+  done
+
+let test_safety_soak () =
+  (* safety must survive every combination we can throw at it *)
+  let runs =
+    [ (fun c -> Duel_eager.run { c with Sim.Engine.max_steps = 15_000 });
+      Duel_backoff.run; Trio.run ]
+  in
+  List.iteri
+    (fun i run ->
+      for seed = 1 to 60 do
+        let r = run (cfg ~delays:(Sim.Delay.Exponential 0.5) (1000 * (i + 1) + seed)) in
+        Alcotest.(check bool) "agreement under duels" true (Sim.Engine.agreement_ok r);
+        Alcotest.(check bool) "no write-once violations" true (r.violations = [])
+      done)
+    runs
+
+let test_safety_with_crashes () =
+  for seed = 1 to 40 do
+    let crash = [ ((seed mod 5), float_of_int (seed mod 7) /. 2.0) ] in
+    let r = Duel_backoff.run (cfg ~crash (2000 + seed)) in
+    Alcotest.(check bool) "agreement with crashes" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_validity_proposer_values_only () =
+  (* the decided value must be some proposer's input, never an acceptor's *)
+  let inputs = [| 1; 0; 9; 9; 9 |] in
+  for seed = 1 to 30 do
+    let r = Duel_backoff.run (cfg ~inputs (3000 + seed)) in
+    Array.iter
+      (function
+        | Some v -> Alcotest.(check bool) "proposer value" true (v = 0 || v = 1)
+        | None -> ())
+      r.decisions
+  done
+
+let test_minority_crash_still_decides () =
+  (* two acceptors (non-proposers) crash: quorum of 3 of 5 remains *)
+  for seed = 1 to 20 do
+    let r = Duel_backoff.run (cfg ~crash:[ (3, 0.0); (4, 0.0) ] (4000 + seed)) in
+    Alcotest.(check bool) "decides with minority dead" true
+      (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_majority_crash_blocks_safely () =
+  (* three of five acceptors dead: no quorum, no decision, no disagreement *)
+  let r = Duel_backoff.run (cfg ~crash:[ (2, 0.0); (3, 0.0); (4, 0.0) ] ~max_steps:5_000 5) in
+  Alcotest.(check int) "nobody decides" 0 (Sim.Engine.decided_count r);
+  Alcotest.(check bool) "agreement (vacuous)" true (Sim.Engine.agreement_ok r)
+
+let test_proposer_crash_failover () =
+  (* proposer 0 dies mid-ballot; proposer 1 still drives a decision *)
+  for seed = 1 to 20 do
+    let r = Duel_backoff.run (cfg ~crash:[ (0, 0.4) ] (5000 + seed)) in
+    Alcotest.(check bool) "survivors decide" true (r.outcome = Sim.Engine.All_decided);
+    Alcotest.(check bool) "agreement" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_dueling_livelock_exists () =
+  (* eager symmetric retries: some seeds never decide within the budget —
+     the FLP non-deciding run in its modern costume *)
+  let limited = ref 0 in
+  for seed = 1 to 40 do
+    let r = Duel_eager.run (cfg ~max_steps:15_000 (6000 + seed)) in
+    if r.outcome = Sim.Engine.Limit_reached then incr limited
+  done;
+  Alcotest.(check bool) "livelock observed" true (!limited > 0)
+
+let test_heavy_tail_safety () =
+  (* unbounded delays reorder everything; safety must not care *)
+  for seed = 1 to 30 do
+    let delays = Sim.Delay.Pareto { scale = 0.05; shape = 1.2 } in
+    let r = Duel_backoff.run (cfg ~delays ~max_steps:40_000 (8000 + seed)) in
+    Alcotest.(check bool) "agreement under heavy tails" true (Sim.Engine.agreement_ok r);
+    Alcotest.(check bool) "no violations" true (r.violations = [])
+  done
+
+let test_ballot_uniqueness_invariant () =
+  (* structural: ballots are attempt * n + pid, so distinct proposers can
+     never collide; exercised indirectly by running a three-way duel and
+     checking that every run stays safe *)
+  for seed = 1 to 30 do
+    let r = Trio.run (cfg ~max_steps:40_000 (9000 + seed)) in
+    Alcotest.(check bool) "three-way duel safe" true (Sim.Engine.agreement_ok r)
+  done
+
+let test_backoff_restores_liveness () =
+  for seed = 1 to 40 do
+    let r = Duel_backoff.run (cfg (7000 + seed)) in
+    Alcotest.(check bool) "backoff always decides" true (r.outcome = Sim.Engine.All_decided)
+  done
+
+let () =
+  Alcotest.run "paxos"
+    [
+      ( "paxos",
+        [
+          Alcotest.test_case "single proposer decides" `Quick test_single_proposer_decides;
+          Alcotest.test_case "safety soak" `Slow test_safety_soak;
+          Alcotest.test_case "safety with crashes" `Slow test_safety_with_crashes;
+          Alcotest.test_case "validity" `Quick test_validity_proposer_values_only;
+          Alcotest.test_case "minority crash decides" `Quick test_minority_crash_still_decides;
+          Alcotest.test_case "majority crash blocks safely" `Quick
+            test_majority_crash_blocks_safely;
+          Alcotest.test_case "proposer failover" `Quick test_proposer_crash_failover;
+          Alcotest.test_case "dueling livelock exists" `Slow test_dueling_livelock_exists;
+          Alcotest.test_case "heavy-tail safety" `Slow test_heavy_tail_safety;
+          Alcotest.test_case "three-way duel safe" `Slow test_ballot_uniqueness_invariant;
+          Alcotest.test_case "backoff restores liveness" `Slow test_backoff_restores_liveness;
+        ] );
+    ]

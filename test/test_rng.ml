@@ -1,0 +1,153 @@
+let test_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.int64 a <> Sim.Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "seeds differ" true !differs
+
+let test_int_bounds () =
+  let rng = Sim.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_invalid () =
+  let rng = Sim.Rng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int rng 0))
+
+let test_int_covers () =
+  let rng = Sim.Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Sim.Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let rng = Sim.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_float_mean () =
+  let rng = Sim.Rng.create 11 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Sim.Rng.float rng 1.0)
+  done;
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (Stats.Summary.mean s -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let rng = Sim.Rng.create 13 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Sim.Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly fair" true (abs (!trues - 5000) < 300)
+
+let test_split_independence () =
+  let parent = Sim.Rng.create 5 in
+  let child = Sim.Rng.split parent in
+  (* child consumption must not affect the parent's subsequent stream *)
+  let parent' = Sim.Rng.create 5 in
+  let _ = Sim.Rng.split parent' in
+  ignore (Sim.Rng.int64 child);
+  ignore (Sim.Rng.int64 child);
+  Alcotest.(check int64) "parent unaffected by child draws" (Sim.Rng.int64 parent)
+    (Sim.Rng.int64 parent')
+
+let test_copy () =
+  let a = Sim.Rng.create 21 in
+  ignore (Sim.Rng.int64 a);
+  let b = Sim.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+
+let test_exponential_mean () =
+  let rng = Sim.Rng.create 17 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Sim.Rng.exponential rng 2.0)
+  done;
+  Alcotest.(check bool) "mean near 2" true (abs_float (Stats.Summary.mean s -. 2.0) < 0.05)
+
+let test_exponential_positive () =
+  let rng = Sim.Rng.create 19 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Sim.Rng.exponential rng 1.0 > 0.0)
+  done
+
+let test_pareto_scale () =
+  let rng = Sim.Rng.create 23 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "at least scale" true
+      (Sim.Rng.pareto rng ~scale:0.5 ~shape:2.0 >= 0.5)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Sim.Rng.create 29 in
+  let a = Array.init 20 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_shuffle_moves () =
+  let rng = Sim.Rng.create 31 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle rng a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 50 Fun.id)
+
+let test_pick () =
+  let rng = Sim.Rng.create 37 in
+  let a = [| 4; 8; 15; 16; 23; 42 |] in
+  for _ = 1 to 100 do
+    let v = Sim.Rng.pick rng a in
+    Alcotest.(check bool) "member" true (Array.exists (fun x -> x = v) a)
+  done
+
+let test_pick_empty () =
+  let rng = Sim.Rng.create 37 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Sim.Rng.pick rng [||]))
+
+let prop_bit_is_binary =
+  QCheck.Test.make ~name:"bit is 0 or 1" ~count:500 QCheck.small_int (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let b = Sim.Rng.bit rng in
+      b = 0 || b = 1)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "pareto scale" `Quick test_pareto_scale;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves;
+          Alcotest.test_case "pick membership" `Quick test_pick;
+          Alcotest.test_case "pick empty" `Quick test_pick_empty;
+          QCheck_alcotest.to_alcotest prop_bit_is_binary;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+let test_empty_summary () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check int) "count" 0 (Stats.Summary.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.Summary.mean s));
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Stats.Summary.percentile s 50.0))
+
+let test_known_values () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt (32.0 /. 7.0)) (Stats.Summary.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.Summary.total s);
+  Alcotest.(check int) "count" 8 (Stats.Summary.count s)
+
+let test_single_sample () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 3.0;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Summary.mean s);
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.Summary.variance s));
+  Alcotest.(check (float 1e-9)) "ci zero" 0.0 (Stats.Summary.ci95 s)
+
+let test_percentiles () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s (List.init 101 float_of_int);
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.Summary.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.Summary.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Summary.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 25.0 (Stats.Summary.percentile s 25.0)
+
+let test_percentile_interpolation () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s [ 0.0; 10.0 ];
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 5.0 (Stats.Summary.percentile s 50.0)
+
+let test_percentile_clamped () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s [ 1.0; 2.0 ];
+  Alcotest.(check (float 1e-9)) "p>100 clamps" 2.0 (Stats.Summary.percentile s 150.0);
+  Alcotest.(check (float 1e-9)) "p<0 clamps" 1.0 (Stats.Summary.percentile s (-5.0))
+
+let prop_mean_in_range =
+  QCheck.Test.make ~name:"mean between min and max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      Stats.Summary.add_list s xs;
+      let m = Stats.Summary.mean s in
+      m >= Stats.Summary.min s -. 1e-9 && m <= Stats.Summary.max s +. 1e-9)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford mean = naive mean" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      Stats.Summary.add_list s xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      abs_float (Stats.Summary.mean s -. naive) < 1e-6)
+
+let test_histogram_bins () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9 ];
+  Alcotest.(check int) "bin0" 1 (Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin1" 2 (Stats.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin9" 1 (Stats.Histogram.bin_count h 9);
+  Alcotest.(check int) "total" 4 (Stats.Histogram.count h);
+  Alcotest.(check int) "mode" 1 (Stats.Histogram.mode_bin h)
+
+let test_histogram_saturation () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Stats.Histogram.add h (-5.0);
+  Stats.Histogram.add h 99.0;
+  Alcotest.(check int) "low edge" 1 (Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "high edge" 1 (Stats.Histogram.bin_count h 3)
+
+let test_histogram_bounds () =
+  let h = Stats.Histogram.create ~lo:2.0 ~hi:4.0 ~bins:2 in
+  let lo, hi = Stats.Histogram.bin_bounds h 1 in
+  Alcotest.(check (float 1e-9)) "lo" 3.0 lo;
+  Alcotest.(check (float 1e-9)) "hi" 4.0 hi
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "order" (Invalid_argument "Histogram.create: need lo < hi") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1.0 ~hi:1.0 ~bins:3))
+
+let test_histogram_empty_mode () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:3 in
+  Alcotest.(check int) "mode -1" (-1) (Stats.Histogram.mode_bin h)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_summary;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "single sample" `Quick test_single_sample;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "percentile clamped" `Quick test_percentile_clamped;
+          QCheck_alcotest.to_alcotest prop_mean_in_range;
+          QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bins" `Quick test_histogram_bins;
+          Alcotest.test_case "saturation" `Quick test_histogram_saturation;
+          Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+          Alcotest.test_case "invalid" `Quick test_histogram_invalid;
+          Alcotest.test_case "empty mode" `Quick test_histogram_empty_mode;
+        ] );
+    ]

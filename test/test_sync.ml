@@ -1,0 +1,120 @@
+(* Round-counting app: decides its input after k rounds. *)
+module Counter = struct
+  type state = { input : int; rounds : int }
+
+  type msg = unit
+
+  let name = "counter"
+
+  let init ~n:_ ~pid:_ ~input ~rng:_ = { input; rounds = 0 }
+
+  let send ~n ~round:_ ~pid st =
+    ignore st;
+    List.filter_map (fun d -> if d = pid then None else Some (d, ())) (List.init n Fun.id)
+
+  let recv ~n:_ ~round:_ ~pid:_ st _ = { st with rounds = st.rounds + 1 }
+
+  let output st = if st.rounds >= 3 then Some st.input else None
+end
+
+module C = Sim.Sync.Make (Counter)
+
+(* Relay app to observe partial-broadcast crashes: everyone forwards the max
+   value seen. *)
+module Gossip = struct
+  type state = int
+
+  type msg = int
+
+  let name = "gossip"
+
+  let init ~n:_ ~pid:_ ~input ~rng:_ = input
+
+  let send ~n ~round:_ ~pid st =
+    List.filter_map (fun d -> if d = pid then None else Some (d, st)) (List.init n Fun.id)
+
+  let recv ~n:_ ~round:_ ~pid:_ st inbox = List.fold_left (fun a (_, v) -> max a v) st inbox
+
+  let output _ = None
+end
+
+module G = Sim.Sync.Make (Gossip)
+
+let base n seed = Sim.Sync.default_cfg ~n ~inputs:(Array.init n (fun i -> i land 1)) ~seed
+
+let test_rounds_and_decisions () =
+  let r = C.run (base 3 1) in
+  Alcotest.(check int) "three rounds" 3 r.rounds;
+  Alcotest.(check (array (option int))) "inputs decided" [| Some 0; Some 1; Some 0 |] r.decisions;
+  Array.iter (fun dr -> Alcotest.(check int) "decision round" 3 dr) r.decision_rounds;
+  Alcotest.(check int) "sent 3 rounds * 6 msgs" 18 r.sent;
+  Alcotest.(check int) "all delivered" 18 r.delivered
+
+let test_max_rounds () =
+  let cfg = { (base 3 2) with max_rounds = 2 } in
+  let r = C.run cfg in
+  Alcotest.(check int) "stopped at cap" 2 r.rounds;
+  Alcotest.(check (array (option int))) "undecided" [| None; None; None |] r.decisions
+
+let test_crash_silences () =
+  let cfg = base 3 3 in
+  let crashes = Array.copy cfg.crashes in
+  crashes.(0) <- Some { Sim.Sync.round = 2; sends_before_crash = 0 };
+  let r = C.run { cfg with crashes } in
+  (* p0 sends in round 1 only: 2 (p0, r1) + 4 per round from others *)
+  Alcotest.(check int) "sends" (2 + (4 * 3)) r.sent;
+  Alcotest.(check (option int)) "crashed never decides" None r.decisions.(0);
+  Alcotest.(check (option int)) "others decide" (Some 1) r.decisions.(1)
+
+let test_partial_broadcast () =
+  (* p2 holds the max value 9 and crashes in round 1 after reaching only its
+     first destination (p0): p0 learns 9, p1 does not (round 1). *)
+  let inputs = [| 0; 1; 9 |] in
+  let cfg = { (base 3 4) with inputs; max_rounds = 1 } in
+  let crashes = Array.copy cfg.crashes in
+  crashes.(2) <- Some { Sim.Sync.round = 1; sends_before_crash = 1 };
+  let r = G.run { cfg with crashes } in
+  Alcotest.(check int) "one round" 1 r.rounds;
+  Alcotest.(check int) "delivered = sent" r.sent r.delivered;
+  Alcotest.(check int) "5 messages" 5 r.sent
+
+let test_loss_filter () =
+  let loss ~round:_ ~src ~dest:_ = src = 0 in
+  let cfg = { (base 3 5) with loss } in
+  let r = C.run cfg in
+  Alcotest.(check int) "sent full" 18 r.sent;
+  Alcotest.(check int) "p0's messages dropped" 12 r.delivered
+
+let test_determinism () =
+  let r1 = C.run (base 4 9) and r2 = C.run (base 4 9) in
+  Alcotest.(check int) "same rounds" r1.rounds r2.rounds;
+  Alcotest.(check int) "same sent" r1.sent r2.sent
+
+let test_agreement_helper () =
+  let mk d =
+    {
+      Sim.Sync.decisions = d;
+      decision_rounds = Array.make (Array.length d) (-1);
+      rounds = 0;
+      sent = 0;
+      delivered = 0;
+      violations = [];
+    }
+  in
+  Alcotest.(check bool) "agree" true (Sim.Sync.agreement_ok (mk [| Some 1; None; Some 1 |]));
+  Alcotest.(check bool) "disagree" false (Sim.Sync.agreement_ok (mk [| Some 0; Some 1 |]))
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "sync",
+        [
+          Alcotest.test_case "rounds and decisions" `Quick test_rounds_and_decisions;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds;
+          Alcotest.test_case "crash silences" `Quick test_crash_silences;
+          Alcotest.test_case "partial broadcast" `Quick test_partial_broadcast;
+          Alcotest.test_case "loss filter" `Quick test_loss_filter;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "agreement helper" `Quick test_agreement_helper;
+        ] );
+    ]

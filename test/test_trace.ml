@@ -1,0 +1,108 @@
+(* The trace facility: structured events out of the engine, and the ASCII
+   space-time diagram renderer. *)
+
+module Echo = struct
+  type state = int
+
+  type msg = unit
+
+  let name = "echo"
+
+  let init ~n:_ ~pid:_ ~input:_ ~rng:_ = (0, [ Sim.Engine.Broadcast () ])
+
+  let on_message ~n ~pid:_ st ~src:_ () =
+    let st = st + 1 in
+    if st = n - 1 then (st, [ Sim.Engine.Decide st ]) else (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module E = Sim.Engine.Make (Echo)
+
+let base n seed = Sim.Engine.default_cfg ~n ~inputs:(Array.make n 0) ~seed
+
+let test_trace_contents () =
+  let r, trace = E.run_traced (base 3 1) in
+  let deliveries =
+    List.filter (function Sim.Trace.Delivery _ -> true | _ -> false) trace
+  in
+  let decisions =
+    List.filter (function Sim.Trace.Decision _ -> true | _ -> false) trace
+  in
+  Alcotest.(check int) "all deliveries traced" r.delivered (List.length deliveries);
+  Alcotest.(check int) "all decisions traced" 3 (List.length decisions)
+
+let test_trace_sorted () =
+  let _, trace = E.run_traced (base 4 2) in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Sim.Trace.time_of a <= Sim.Trace.time_of b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "time-ordered" true (monotone trace)
+
+let test_crash_recorded () =
+  let cfg = base 3 3 in
+  let crash_times = Array.copy cfg.crash_times in
+  crash_times.(1) <- Some 0.2;
+  let _, trace = E.run_traced { cfg with crash_times } in
+  Alcotest.(check bool) "crash event present" true
+    (List.exists
+       (function Sim.Trace.Crash { pid = 1; _ } -> true | _ -> false)
+       trace)
+
+let test_decision_times_match () =
+  let r, trace = E.run_traced (base 3 4) in
+  List.iter
+    (function
+      | Sim.Trace.Decision { time; pid; value } ->
+          Alcotest.(check (float 1e-9)) "time matches result" r.decision_times.(pid) time;
+          Alcotest.(check (option int)) "value matches result" (Some value) r.decisions.(pid)
+      | _ -> ())
+    trace
+
+let test_diagram_renders () =
+  let _, trace = E.run_traced (base 3 5) in
+  let s = Format.asprintf "%a" (Sim.Trace.pp_diagram ~n:3) trace in
+  Alcotest.(check bool) "has arrows" true (String.length s > 0);
+  Alcotest.(check bool) "mentions decisions" true
+    (let re = "decides" in
+     let rec contains i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let test_pp_event () =
+  let s =
+    Format.asprintf "%a" Sim.Trace.pp_event
+      (Sim.Trace.Delivery { time = 1.5; src = 0; dst = 2 })
+  in
+  Alcotest.(check bool) "delivery rendering" true (s = "  1.50  p0 -> p2")
+
+let test_sort () =
+  let events =
+    [
+      Sim.Trace.Decision { time = 2.0; pid = 0; value = 1 };
+      Sim.Trace.Delivery { time = 0.5; src = 0; dst = 1 };
+      Sim.Trace.Crash { time = 1.0; pid = 2 };
+    ]
+  in
+  match Sim.Trace.sort events with
+  | [ Sim.Trace.Delivery _; Sim.Trace.Crash _; Sim.Trace.Decision _ ] -> ()
+  | _ -> Alcotest.fail "wrong order"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "contents" `Quick test_trace_contents;
+          Alcotest.test_case "sorted" `Quick test_trace_sorted;
+          Alcotest.test_case "crash recorded" `Quick test_crash_recorded;
+          Alcotest.test_case "decision times match" `Quick test_decision_times_match;
+          Alcotest.test_case "diagram renders" `Quick test_diagram_renders;
+          Alcotest.test_case "pp_event" `Quick test_pp_event;
+          Alcotest.test_case "sort" `Quick test_sort;
+        ] );
+    ]

@@ -1,0 +1,59 @@
+open Flp
+
+let test_conversions () =
+  Alcotest.(check int) "zero" 0 (Value.to_int Value.Zero);
+  Alcotest.(check int) "one" 1 (Value.to_int Value.One);
+  Alcotest.(check bool) "roundtrip 0" true (Value.of_int 0 = Value.Zero);
+  Alcotest.(check bool) "roundtrip 1" true (Value.of_int 1 = Value.One)
+
+let test_of_int_invalid () =
+  Alcotest.check_raises "2" (Invalid_argument "Value.of_int: 2 is not a binary value")
+    (fun () -> ignore (Value.of_int 2))
+
+let test_flip () =
+  Alcotest.(check bool) "flip 0" true (Value.flip Value.Zero = Value.One);
+  Alcotest.(check bool) "involution" true
+    (List.for_all (fun v -> Value.flip (Value.flip v) = v) Value.all)
+
+let test_logic () =
+  Alcotest.(check bool) "and" true (Value.logand Value.One Value.One = Value.One);
+  Alcotest.(check bool) "and 0" true (Value.logand Value.One Value.Zero = Value.Zero);
+  Alcotest.(check bool) "or" true (Value.logor Value.Zero Value.One = Value.One);
+  Alcotest.(check bool) "or 0" true (Value.logor Value.Zero Value.Zero = Value.Zero)
+
+let test_majority () =
+  Alcotest.(check bool) "2/3 ones" true
+    (Value.majority [ Value.One; Value.One; Value.Zero ] = Value.One);
+  Alcotest.(check bool) "tie -> zero" true
+    (Value.majority [ Value.One; Value.Zero ] = Value.Zero);
+  Alcotest.(check bool) "single" true (Value.majority [ Value.One ] = Value.One)
+
+let test_majority_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Value.majority: empty list") (fun () ->
+      ignore (Value.majority []))
+
+let test_compare () =
+  Alcotest.(check bool) "zero < one" true (Value.compare Value.Zero Value.One < 0);
+  Alcotest.(check bool) "equal" true (Value.compare Value.One Value.One = 0);
+  Alcotest.(check bool) "equal fn" true (Value.equal Value.Zero Value.Zero)
+
+let test_pp () =
+  Alcotest.(check string) "pp zero" "0" (Format.asprintf "%a" Value.pp Value.Zero);
+  Alcotest.(check string) "to_string one" "1" (Value.to_string Value.One);
+  Alcotest.(check int) "all has both" 2 (List.length Value.all)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "of_int invalid" `Quick test_of_int_invalid;
+          Alcotest.test_case "flip" `Quick test_flip;
+          Alcotest.test_case "logic" `Quick test_logic;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "majority empty" `Quick test_majority_empty;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+module S = Workload.Scenario
+
+let test_all_same () =
+  Alcotest.(check (array int)) "ones" [| 1; 1; 1 |] (S.all_same 3 1)
+
+let test_split () =
+  Alcotest.(check (array int)) "2 of 5" [| 1; 1; 0; 0; 0 |] (S.split 5 ~ones:2);
+  Alcotest.(check (array int)) "none" [| 0; 0 |] (S.split 2 ~ones:0);
+  Alcotest.check_raises "range" (Invalid_argument "Scenario.split: ones out of range")
+    (fun () -> ignore (S.split 3 ~ones:4))
+
+let test_alternating () =
+  Alcotest.(check (array int)) "alt" [| 0; 1; 0; 1 |] (S.alternating 4)
+
+let test_all_vectors () =
+  let vs = S.all_vectors 3 in
+  Alcotest.(check int) "2^3" 8 (List.length vs);
+  Alcotest.(check (array int)) "first all zero" [| 0; 0; 0 |] (List.hd vs);
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare vs))
+
+let test_random_inputs_binary () =
+  let rng = Sim.Rng.create 3 in
+  let v = S.random_inputs rng 100 in
+  Alcotest.(check bool) "binary" true (Array.for_all (fun x -> x = 0 || x = 1) v)
+
+let test_initially_dead () =
+  let a = S.initially_dead 4 [ 1; 3 ] in
+  Alcotest.(check (array (option (float 0.)))) "dead at 0"
+    [| None; Some 0.0; None; Some 0.0 |] a;
+  Alcotest.check_raises "range" (Invalid_argument "Scenario.initially_dead: pid out of range")
+    (fun () -> ignore (S.initially_dead 2 [ 5 ]))
+
+let test_crash_at () =
+  let a = S.crash_at 3 [ (0, 1.5) ] in
+  Alcotest.(check (array (option (float 0.)))) "schedule" [| Some 1.5; None; None |] a
+
+let test_random_initially_dead_count () =
+  let rng = Sim.Rng.create 5 in
+  for _ = 1 to 20 do
+    let a = S.random_initially_dead rng 9 ~count:4 in
+    let dead = Array.fold_left (fun acc c -> if c = None then acc else acc + 1) 0 a in
+    Alcotest.(check int) "exactly 4 dead" 4 dead
+  done
+
+let test_random_sync_crashes () =
+  let rng = Sim.Rng.create 7 in
+  let a = S.random_sync_crashes rng ~n:6 ~f:3 ~max_round:5 in
+  let crashed = Array.to_list a |> List.filter_map Fun.id in
+  Alcotest.(check int) "f crashes" 3 (List.length crashed);
+  List.iter
+    (fun (c : Sim.Sync.crash) ->
+      Alcotest.(check bool) "round in range" true (c.round >= 1 && c.round <= 5);
+      Alcotest.(check bool) "cut in range" true
+        (c.sends_before_crash >= 0 && c.sends_before_crash < 6))
+    crashed
+
+let test_gst_loss_deterministic () =
+  for round = 0 to 30 do
+    for src = 0 to 3 do
+      Alcotest.(check bool) "same answer twice" true
+        (S.gst_loss ~seed:1 ~gst:20 ~p:0.5 ~round ~src ~dest:0
+        = S.gst_loss ~seed:1 ~gst:20 ~p:0.5 ~round ~src ~dest:0)
+    done
+  done
+
+let test_gst_loss_stops_at_gst () =
+  for round = 20 to 40 do
+    Alcotest.(check bool) "reliable after gst" false
+      (S.gst_loss ~seed:1 ~gst:20 ~p:1.0 ~round ~src:0 ~dest:1)
+  done;
+  let lost = ref 0 in
+  for round = 0 to 19 do
+    if S.gst_loss ~seed:1 ~gst:20 ~p:1.0 ~round ~src:0 ~dest:1 then incr lost
+  done;
+  Alcotest.(check int) "p=1 loses everything before gst" 20 !lost
+
+let test_lossless () =
+  Alcotest.(check bool) "never loses" false (S.lossless ~round:0 ~src:0 ~dest:1)
+
+(* Experiment driver on a trivial app. *)
+module Trivial = struct
+  type state = unit
+
+  type msg = unit
+
+  let name = "trivial"
+
+  let init ~n:_ ~pid:_ ~input ~rng:_ = ((), [ Sim.Engine.Decide input ])
+
+  let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [])
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end
+
+module Exp = Workload.Experiment.Async (Trivial)
+
+let test_experiment_aggregate () =
+  let agg =
+    Exp.run ~seeds:(List.init 10 Fun.id)
+      ~cfg:(fun ~seed -> Sim.Engine.default_cfg ~n:3 ~inputs:[| 1; 1; 1 |] ~seed)
+      ()
+  in
+  Alcotest.(check int) "trials" 10 agg.trials;
+  Alcotest.(check int) "all decided" 10 agg.all_decided;
+  Alcotest.(check int) "none blocked" 0 agg.blocked;
+  Alcotest.(check int) "no agreement violations" 0 agg.agreement_violations;
+  Alcotest.(check int) "decision times recorded" 10 (Stats.Summary.count agg.decision_time)
+
+let test_experiment_detects_disagreement () =
+  let module Dis = struct
+    type state = unit
+
+    type msg = unit
+
+    let name = "disagree"
+
+    let init ~n:_ ~pid ~input:_ ~rng:_ = ((), [ Sim.Engine.Decide pid ])
+
+    let on_message ~n:_ ~pid:_ st ~src:_ () = (st, [])
+
+    let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+  end in
+  let module E = Workload.Experiment.Async (Dis) in
+  let agg =
+    E.run ~seeds:[ 1; 2 ]
+      ~cfg:(fun ~seed -> Sim.Engine.default_cfg ~n:2 ~inputs:[| 0; 0 |] ~seed)
+      ()
+  in
+  Alcotest.(check int) "both trials violate agreement" 2 agg.agreement_violations;
+  Alcotest.(check int) "validity also broken" 2 agg.validity_violations
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "all_same" `Quick test_all_same;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "alternating" `Quick test_alternating;
+          Alcotest.test_case "all_vectors" `Quick test_all_vectors;
+          Alcotest.test_case "random inputs binary" `Quick test_random_inputs_binary;
+          Alcotest.test_case "initially dead" `Quick test_initially_dead;
+          Alcotest.test_case "crash_at" `Quick test_crash_at;
+          Alcotest.test_case "random dead count" `Quick test_random_initially_dead_count;
+          Alcotest.test_case "random sync crashes" `Quick test_random_sync_crashes;
+          Alcotest.test_case "gst loss deterministic" `Quick test_gst_loss_deterministic;
+          Alcotest.test_case "gst loss stops" `Quick test_gst_loss_stops_at_gst;
+          Alcotest.test_case "lossless" `Quick test_lossless;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "aggregate" `Quick test_experiment_aggregate;
+          Alcotest.test_case "detects disagreement" `Quick test_experiment_detects_disagreement;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+open Flp
+
+let test_catalogue () =
+  Alcotest.(check int) "seven entries" 7 (List.length Zoo.all);
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let module P = (val e.protocol : Protocol.S) in
+      Alcotest.(check string) "name matches" e.name P.name;
+      Alcotest.(check bool) "n >= 2" true (P.n >= 2))
+    Zoo.all
+
+let test_find () =
+  Alcotest.(check bool) "known" true (Zoo.find "and-wait" <> None);
+  Alcotest.(check bool) "race" true (Zoo.find "race:2" <> None);
+  Alcotest.(check bool) "unknown" true (Zoo.find "paxos" = None)
+
+let test_initial_states_undecided () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let module P = (val e.protocol : Protocol.S) in
+      for pid = 0 to P.n - 1 do
+        List.iter
+          (fun input ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s p%d starts undecided" e.name pid)
+              true
+              (P.output (P.init ~pid ~input) = None))
+          Value.all
+      done)
+    Zoo.all
+
+let test_step_deterministic () =
+  (* the transition function is pure: same state + same event = same result *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let module P = (val e.protocol : Protocol.S) in
+      let st = P.init ~pid:0 ~input:Value.One in
+      let s1, m1 = P.step ~pid:0 st None in
+      let s2, m2 = P.step ~pid:0 st None in
+      Alcotest.(check bool) (e.name ^ " deterministic state") true (P.equal_state s1 s2);
+      Alcotest.(check int) (e.name ^ " deterministic sends") (List.length m1)
+        (List.length m2))
+    Zoo.all
+
+let test_first_step_broadcasts () =
+  (* every zoo protocol starts by sending something on its first step *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let module P = (val e.protocol : Protocol.S) in
+      let sender = if e.name = "leader" then 0 else 0 in
+      let _, sends = P.step ~pid:sender (P.init ~pid:sender ~input:Value.One) None in
+      Alcotest.(check bool) (e.name ^ " sends on first step") true (sends <> []))
+    Zoo.all
+
+let test_sends_stay_in_range () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let module P = (val e.protocol : Protocol.S) in
+      for pid = 0 to P.n - 1 do
+        let _, sends = P.step ~pid (P.init ~pid ~input:Value.Zero) None in
+        List.iter
+          (fun (dest, _) ->
+            Alcotest.(check bool) "valid dest" true (dest >= 0 && dest < P.n);
+            Alcotest.(check bool) "no self sends in the zoo" true (dest <> pid))
+          sends
+      done)
+    Zoo.all
+
+let test_benor_det_invalid_cap () =
+  Alcotest.check_raises "cap" (Invalid_argument "Zoo.benor_det: cap must be >= 1") (fun () ->
+      ignore (Zoo.benor_det ~cap:0));
+  Alcotest.check_raises "race cap" (Invalid_argument "Zoo.race: cap must be >= 1") (fun () ->
+      ignore (Zoo.race ~cap:0))
+
+let test_protocol_accessors () =
+  Alcotest.(check string) "name" "and-wait" (Protocol.name Zoo.and_wait);
+  Alcotest.(check int) "size" 2 (Protocol.size Zoo.and_wait);
+  Alcotest.(check int) "majority size" 3 (Protocol.size Zoo.majority)
+
+let () =
+  Alcotest.run "zoo"
+    [
+      ( "zoo",
+        [
+          Alcotest.test_case "catalogue" `Quick test_catalogue;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "initial undecided" `Quick test_initial_states_undecided;
+          Alcotest.test_case "deterministic step" `Quick test_step_deterministic;
+          Alcotest.test_case "first step broadcasts" `Quick test_first_step_broadcasts;
+          Alcotest.test_case "sends in range" `Quick test_sends_stay_in_range;
+          Alcotest.test_case "invalid caps" `Quick test_benor_det_invalid_cap;
+          Alcotest.test_case "protocol accessors" `Quick test_protocol_accessors;
+        ] );
+    ]
