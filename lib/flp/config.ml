@@ -35,6 +35,8 @@ module type S = sig
 
   val apply_with_sends : t -> event -> t * (int * msg) list
 
+  val apply_unchecked : t -> event -> t * (int * msg) list
+
   val apply_schedule : t -> event list -> t
 
   val schedule_processes : event list -> int list
@@ -138,6 +140,26 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
     ({ states; buffer }, sends)
 
   let apply t e = fst (apply_with_sends t e)
+
+  let apply_unchecked t e =
+    check_dest e.dest;
+    let buffer =
+      match e.msg with
+      | None -> t.buffer
+      | Some m -> (
+          try MB.receive t.buffer ~dest:e.dest m
+          with Not_found ->
+            raise (Not_applicable (Format.asprintf "event %a: message not pending" pp_event e)))
+    in
+    let new_state, sends = P.step ~pid:e.dest t.states.(e.dest) e.msg in
+    let buffer =
+      List.fold_left
+        (fun b (dest, m) -> if dest >= 0 && dest < P.n then MB.send b ~dest m else b)
+        buffer sends
+    in
+    let states = Array.copy t.states in
+    states.(e.dest) <- new_state;
+    ({ states; buffer }, sends)
 
   let apply_schedule t schedule = List.fold_left apply t schedule
 

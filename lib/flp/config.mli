@@ -58,6 +58,17 @@ module type S = sig
   (** Like [apply], also reporting the messages the step sent (used by the
       adversary to maintain its send-order bookkeeping). *)
 
+  val apply_unchecked : t -> event -> t * (int * msg) list
+  (** Like {!apply_with_sends}, but for {e auditing} the protocol rather than
+      trusting it: the write-once output register is not enforced, and sends
+      addressed outside [\[0, n)] are reported in the returned list but
+      silently dropped from the buffer instead of raising.  The event's
+      message must still be pending ([Not_applicable] otherwise) — even an
+      audit only replays messages the model says exist.  This is the
+      iteration hook for the lint walker, which must keep expanding a
+      malformed protocol's configuration graph so that every violation gets
+      reported, not just the first one. *)
+
   val apply_schedule : t -> event list -> t
 
   val schedule_processes : event list -> int list

@@ -1,0 +1,20 @@
+(** A minimal JSON tree and serialiser.
+
+    The lint report format is small and flat, so this avoids dragging in an
+    external JSON dependency: constructors for the report shapes we emit, a
+    compact serialiser, and an indented one for human eyes.  Strings are
+    escaped per RFC 8259 (control characters, quotes, backslashes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, trailing newline. *)

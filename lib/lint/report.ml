@@ -1,0 +1,96 @@
+type finding = {
+  rule : string;
+  severity : Severity.t;
+  message : string;
+  witness : string option;
+}
+
+let finding ?witness ?severity (rule : Rule.t) message =
+  {
+    rule = rule.Rule.name;
+    severity = (match severity with Some s -> s | None -> rule.Rule.severity);
+    message;
+    witness;
+  }
+
+type t = {
+  protocol : string;
+  n : int;
+  configs_explored : int;
+  complete : bool;
+  rules_run : string list;
+  findings : finding list;
+}
+
+let errors t =
+  List.filter (fun f -> Severity.equal f.severity Severity.Error) t.findings
+
+let error_count t = List.length (errors t)
+
+let total_errors reports =
+  List.fold_left (fun acc r -> acc + error_count r) 0 reports
+
+let worst t =
+  match t.findings with
+  | [] -> None
+  | f :: rest ->
+      Some (List.fold_left (fun acc g -> Severity.max_severity acc g.severity) f.severity rest)
+
+(* Witnesses are pre-formatted (configuration dumps); print their lines
+   verbatim under the current indentation instead of reflowing them. *)
+let pp_lines ppf s =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut Format.pp_print_string ppf
+    (String.split_on_char '\n' s)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "@[<v 2>[%a] %s: %s" Severity.pp f.severity f.rule f.message;
+  (match f.witness with
+  | Some w -> Format.fprintf ppf "@,witness: @[<v>%a@]" pp_lines w
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  let verdict =
+    match error_count t with
+    | 0 -> "clean"
+    | 1 -> "1 error"
+    | k -> Printf.sprintf "%d errors" k
+  in
+  Format.fprintf ppf "@[<v>== %s: %s (n = %d, %d configurations%s, %d rules) ==" t.protocol
+    verdict t.n t.configs_explored
+    (if t.complete then "" else ", budget exhausted")
+    (List.length t.rules_run);
+  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_finding f) t.findings;
+  Format.fprintf ppf "@]"
+
+let finding_to_json f =
+  Json.Obj
+    [
+      ("rule", Json.Str f.rule);
+      ("severity", Json.Str (Severity.to_string f.severity));
+      ("message", Json.Str f.message);
+      ("witness", match f.witness with Some w -> Json.Str w | None -> Json.Null);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("protocol", Json.Str t.protocol);
+      ("n", Json.Int t.n);
+      ("configs_explored", Json.Int t.configs_explored);
+      ("complete", Json.Bool t.complete);
+      ("rules", Json.List (List.map (fun r -> Json.Str r) t.rules_run));
+      ("findings", Json.List (List.map finding_to_json t.findings));
+      ("errors", Json.Int (error_count t));
+    ]
+
+let batch_to_json reports =
+  let findings = List.fold_left (fun acc r -> acc + List.length r.findings) 0 reports in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("protocols", Json.Int (List.length reports));
+      ("findings", Json.Int findings);
+      ("errors", Json.Int (total_errors reports));
+      ("reports", Json.List (List.map to_json reports));
+    ]

@@ -1,0 +1,46 @@
+(** Machine-readable lint reports.
+
+    A {!finding} is one concrete model violation with an optional
+    pretty-printed witness (the offending state, event, or message).  A
+    {!t} is everything one protocol's audit produced, plus enough context
+    (exploration size, completeness) to judge how much of the state space the
+    verdict covers.  Renderers: human text ({!pp}) and JSON ({!to_json},
+    {!batch_to_json}). *)
+
+type finding = {
+  rule : string;  (** {!Rule.t} name *)
+  severity : Severity.t;
+  message : string;  (** one-line statement of the violation *)
+  witness : string option;  (** pretty-printed offending state / event / message *)
+}
+
+val finding : ?witness:string -> ?severity:Severity.t -> Rule.t -> string -> finding
+(** Finding for a rule, defaulting to the rule's own severity. *)
+
+type t = {
+  protocol : string;
+  n : int;  (** number of processes *)
+  configs_explored : int;  (** configurations the lint walk visited *)
+  complete : bool;  (** false when the walk hit the configuration budget *)
+  rules_run : string list;
+  findings : finding list;
+}
+
+val errors : t -> finding list
+(** Findings of [Error] severity. *)
+
+val error_count : t -> int
+
+val total_errors : t list -> int
+
+val worst : t -> Severity.t option
+(** Highest severity among the findings; [None] when the report is clean. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human rendering: a header line, then one block per finding. *)
+
+val to_json : t -> Json.t
+
+val batch_to_json : t list -> Json.t
+(** Top-level object for the CLI: a [reports] array plus finding / error
+    totals, so CI can gate on [.errors] alone. *)

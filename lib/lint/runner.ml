@@ -1,0 +1,31 @@
+type opts = { rules : Rule.t list; rule_opts : Rules.opts }
+
+let default_opts = { rules = Rule.all; rule_opts = Rules.default_opts }
+
+let lint ?(opts = default_opts) (protocol : Flp.Protocol.t) =
+  let module P = (val protocol : Flp.Protocol.S) in
+  let module L = Rules.Make (P) in
+  let w = L.walk opts.rule_opts in
+  let findings =
+    List.concat_map
+      (fun rule ->
+        try L.check opts.rule_opts w rule
+        with exn ->
+          [
+            Report.finding ~severity:Severity.Info rule
+              (Printf.sprintf "rule aborted: %s" (Printexc.to_string exn));
+          ])
+      opts.rules
+  in
+  {
+    Report.protocol = P.name;
+    n = P.n;
+    configs_explored = L.configs_explored w;
+    complete = L.complete w;
+    rules_run = List.map (fun (r : Rule.t) -> r.Rule.name) opts.rules;
+    findings;
+  }
+
+let lint_many ?(opts = default_opts) protocols = List.map (fun p -> lint ~opts p) protocols
+
+let exit_code reports = if Report.total_errors reports > 0 then 1 else 0

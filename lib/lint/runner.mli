@@ -1,0 +1,24 @@
+(** Run rule sets over packed protocols and aggregate reports.
+
+    This is the layer both the CLI ({!val:exit_code} makes it a CI gate) and
+    the tests drive: pick rules, pick protocols, get {!Report.t}s back.  A
+    rule implementation that itself raises — which only happens for protocols
+    broken in ways the rules' own guards didn't anticipate — is downgraded to
+    an [Info] "rule aborted" note rather than crashing the audit. *)
+
+type opts = {
+  rules : Rule.t list;  (** rules to run, in order *)
+  rule_opts : Rules.opts;
+}
+
+val default_opts : opts
+(** All of {!Rule.all} with {!Rules.default_opts}. *)
+
+val lint : ?opts:opts -> Flp.Protocol.t -> Report.t
+(** Audit one packed protocol: walk its reachable configurations once, then
+    run every selected rule against the walk. *)
+
+val lint_many : ?opts:opts -> Flp.Protocol.t list -> Report.t list
+
+val exit_code : Report.t list -> int
+(** [1] when any report carries an [Error]-severity finding, [0] otherwise. *)

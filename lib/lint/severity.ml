@@ -1,0 +1,19 @@
+type t = Info | Warn | Error
+
+let rank = function Info -> 0 | Warn -> 1 | Error -> 2
+
+let compare a b = Stdlib.compare (rank a) (rank b)
+
+let equal a b = rank a = rank b
+
+let max_severity a b = if rank a >= rank b then a else b
+
+let to_string = function Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let of_string = function
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

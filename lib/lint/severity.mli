@@ -1,0 +1,24 @@
+(** Severity ladder for lint findings.
+
+    [Error] means the protocol value steps outside the FLP §2 model and every
+    analysis result computed from it is suspect; the CLI gate exits nonzero.
+    [Warn] flags things that are legal but likely mistakes.  [Info] carries
+    context (e.g. a rule that had to be skipped). *)
+
+type t = Info | Warn | Error
+
+val rank : t -> int
+(** [Info] < [Warn] < [Error]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val max_severity : t -> t -> t
+
+val to_string : t -> string
+(** Lowercase: ["info"], ["warn"], ["error"] — the JSON encoding. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

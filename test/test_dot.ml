@@ -1,0 +1,113 @@
+(* Tests for Analysis.dot: the GraphViz rendering must be well-formed DOT and
+   colour nodes per the documented valence palette (palegreen 0-valent,
+   lightblue 1-valent, orange bivalent, lightgrey undecided-forever, white
+   when no valences are supplied; decided configurations are double
+   octagons). *)
+
+open Flp
+
+module P = (val Zoo.race ~cap:2 : Protocol.S)
+module A = Analysis.Make (P)
+
+let mixed = [| Value.Zero; Value.Zero; Value.One |]
+
+let graph () = A.Explore.explore ~max_configs:100_000 (A.C.initial mixed)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let count_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go acc i =
+    if i + m > n then acc else go (if String.sub s i m = sub then acc + 1 else acc) (i + 1)
+  in
+  go 0 0
+
+let count_char c s = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s
+
+let is_node_line line =
+  (not (contains ~sub:" -> " line))
+  && String.length line > 3
+  && String.sub line 0 3 = "  c"
+  && contains ~sub:"[label=" line
+
+let test_wellformed () =
+  let g = graph () in
+  let s = A.dot g in
+  Alcotest.(check string) "digraph header" "digraph flp {"
+    (String.sub s 0 (String.length "digraph flp {"));
+  Alcotest.(check string) "closing brace" "}\n"
+    (String.sub s (String.length s - 2) 2);
+  Alcotest.(check int) "braces balanced" (count_char '{' s) (count_char '}' s);
+  Alcotest.(check int) "quotes balanced" 0 (count_char '"' s mod 2);
+  let lines = String.split_on_char '\n' s in
+  let nodes = List.length (List.filter is_node_line lines) in
+  let edges = List.length (List.filter (contains ~sub:" -> ") lines) in
+  Alcotest.(check int) "one node line per configuration" (A.Explore.size g) nodes;
+  Alcotest.(check int) "one edge line per transition" (A.Explore.edge_count g) edges;
+  (* every statement line is terminated *)
+  List.iter
+    (fun line ->
+      if is_node_line line || contains ~sub:" -> " line then
+        Alcotest.(check char) "semicolon-terminated" ';' line.[String.length line - 1])
+    lines
+
+let test_uncoloured_is_white () =
+  let g = graph () in
+  let s = A.dot g in
+  Alcotest.(check int) "all nodes white" (A.Explore.size g)
+    (count_sub ~sub:"fillcolor=white" s)
+
+let test_valence_palette () =
+  let g = graph () in
+  let valences = A.Valency.classify g in
+  let s = A.dot ~valences g in
+  let count_valence v =
+    Array.fold_left
+      (fun acc v' -> if A.Valency.equal_valence v v' then acc + 1 else acc)
+      0 valences
+  in
+  let check_colour name valence =
+    Alcotest.(check int) (name ^ " count matches valence class")
+      (count_valence valence)
+      (count_sub ~sub:("fillcolor=" ^ name) s)
+  in
+  check_colour "palegreen" (A.Valency.Univalent Value.Zero);
+  check_colour "lightblue" (A.Valency.Univalent Value.One);
+  check_colour "orange" A.Valency.Bivalent;
+  check_colour "lightgrey" A.Valency.Undecided_forever;
+  (* race:2 from mixed inputs is bivalent at the root and reaches both
+     decisions, so all three main colours actually appear *)
+  Alcotest.(check bool) "root is bivalent" true
+    (A.Valency.equal_valence valences.(A.Explore.root g) A.Valency.Bivalent);
+  List.iter
+    (fun colour -> Alcotest.(check bool) (colour ^ " present") true (contains ~sub:colour s))
+    [ "palegreen"; "lightblue"; "orange" ];
+  Alcotest.(check int) "no white nodes when coloured" 0 (count_sub ~sub:"fillcolor=white" s)
+
+let test_decided_shape () =
+  let g = graph () in
+  let s = A.dot g in
+  let decided =
+    List.length
+      (List.filter
+         (fun id -> A.C.decision_values (A.Explore.config g id) <> [])
+         (List.init (A.Explore.size g) Fun.id))
+  in
+  Alcotest.(check bool) "some configurations decide" true (decided > 0);
+  Alcotest.(check int) "decided configurations are double octagons" decided
+    (count_sub ~sub:"shape=doubleoctagon" s)
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "well-formed" `Quick test_wellformed;
+          Alcotest.test_case "uncoloured is white" `Quick test_uncoloured_is_white;
+          Alcotest.test_case "valence palette" `Quick test_valence_palette;
+          Alcotest.test_case "decided shape" `Quick test_decided_shape;
+        ] );
+    ]
