@@ -1,0 +1,154 @@
+(* Sequential-vs-parallel exploration benchmark.
+
+   Explores a few zoo state spaces at jobs = 1, 2, 4 and reports throughput
+   (configurations interned per second) and speedup relative to the
+   sequential explorer, as both a human-readable table and a
+   [BENCH_explore.json] artifact for CI trend tracking.  The parallel
+   explorer is bit-deterministic, so the graph shapes double as a sanity
+   check: any size or edge-count divergence across [jobs] is a hard error.
+
+     explore_bench                          # default budget, 3 repeats
+     explore_bench --budget 20000 --repeats 1 --out BENCH_explore.json
+
+   Timing uses repeated runs with the minimum wall-clock time kept — the
+   usual defense against scheduler noise for single-shot macro benchmarks. *)
+
+let jobs_levels = [ 1; 2; 4 ]
+
+let bench_protocols = [ "race:2"; "benor-det:1"; "parity" ]
+
+type measurement = {
+  jobs : int;
+  seconds : float;  (** best of [repeats] wall-clock runs *)
+  size : int;
+  edges : int;
+  complete : bool;
+}
+
+let time_explore ~repeats ~budget ~jobs protocol =
+  let module P = (val protocol : Flp.Protocol.S) in
+  let module A = Flp.Analysis.Make (P) in
+  let inputs = Array.init P.n (fun i -> Flp.Value.of_int (i land 1)) in
+  let root = A.C.initial inputs in
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let g = A.Explore.explore ~jobs ~max_configs:budget root in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some g
+  done;
+  match !last with
+  | None -> assert false
+  | Some g ->
+      {
+        jobs;
+        seconds = !best;
+        size = A.Explore.size g;
+        edges = A.Explore.edge_count g;
+        complete = A.Explore.complete g;
+      }
+
+let configs_per_sec m = if m.seconds > 0. then float_of_int m.size /. m.seconds else 0.
+
+let bench_one ~repeats ~budget name =
+  match Flp.Zoo.find name with
+  | None -> failwith (Printf.sprintf "protocol %S missing from the zoo" name)
+  | Some protocol ->
+      let ms = List.map (fun jobs -> time_explore ~repeats ~budget ~jobs protocol) jobs_levels in
+      let base = List.hd ms in
+      (* determinism sanity: every jobs level must build the same graph *)
+      List.iter
+        (fun m ->
+          if m.size <> base.size || m.edges <> base.edges || m.complete <> base.complete
+          then
+            failwith
+              (Printf.sprintf "%s: graph diverged at jobs=%d (%d/%d vs %d/%d)" name m.jobs
+                 m.size m.edges base.size base.edges))
+        ms;
+      Printf.printf "%-12s  %8d configs  %8d edges  %s\n" name base.size base.edges
+        (if base.complete then "complete" else "truncated");
+      List.iter
+        (fun m ->
+          Printf.printf "  jobs=%d  %8.3f s  %10.0f configs/s  speedup %.2fx\n" m.jobs
+            m.seconds (configs_per_sec m)
+            (if m.seconds > 0. then base.seconds /. m.seconds else 1.))
+        ms;
+      (name, base, ms)
+
+let json_of_results ~budget ~repeats results =
+  let open Lint.Json in
+  Obj
+    [
+      ("benchmark", Str "explore");
+      ("budget", Int budget);
+      ("repeats", Int repeats);
+      ("available_cores", Int (Domain.recommended_domain_count ()));
+      ( "protocols",
+        List
+          (List.map
+             (fun (name, (base : measurement), ms) ->
+               Obj
+                 [
+                   ("protocol", Str name);
+                   ("configs", Int base.size);
+                   ("edges", Int base.edges);
+                   ("complete", Bool base.complete);
+                   ( "runs",
+                     List
+                       (List.map
+                          (fun m ->
+                            Obj
+                              [
+                                ("jobs", Int m.jobs);
+                                ("seconds", Float m.seconds);
+                                ("configs_per_sec", Float (configs_per_sec m));
+                                ( "speedup",
+                                  Float
+                                    (if m.seconds > 0. then base.seconds /. m.seconds
+                                     else 1.) );
+                              ])
+                          ms) );
+                 ])
+             results) );
+    ]
+
+let run budget repeats out =
+  if budget < 1 then begin
+    Format.eprintf "explore_bench: --budget must be at least 1 (got %d)@." budget;
+    exit 2
+  end;
+  if repeats < 1 then begin
+    Format.eprintf "explore_bench: --repeats must be at least 1 (got %d)@." repeats;
+    exit 2
+  end;
+  Printf.printf "explore_bench: budget=%d repeats=%d cores=%d\n\n" budget repeats
+    (Domain.recommended_domain_count ());
+  let results = List.map (fun name -> bench_one ~repeats ~budget name) bench_protocols in
+  let json = json_of_results ~budget ~repeats results in
+  let oc = open_out out in
+  output_string oc (Lint.Json.to_string_pretty json);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+open Cmdliner
+
+let budget_arg =
+  Arg.(value & opt int 200_000
+       & info [ "budget" ] ~docv:"N" ~doc:"Configuration budget per exploration.")
+
+let repeats_arg =
+  Arg.(value & opt int 3
+       & info [ "repeats" ] ~docv:"N" ~doc:"Timed runs per (protocol, jobs); best kept.")
+
+let out_arg =
+  Arg.(value & opt string "BENCH_explore.json"
+       & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "explore_bench" ~doc:"Benchmark sequential vs parallel exploration")
+    Term.(const run $ budget_arg $ repeats_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

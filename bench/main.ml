@@ -59,7 +59,7 @@ let e2 () =
           | Some A.Valency.Bivalent -> incr biv
           | Some A.Valency.Undecided_forever -> incr nodec
           | None -> incr ovf)
-        (A.Lemma.check_lemma2 ~max_configs:500_000);
+        (A.Lemma.check_lemma2 ~max_configs:500_000 ());
       Format.printf "%-14s %8d %8d %8d %8d %10d@." e.name !zero !one !biv !nodec !ovf)
     Flp.Zoo.all;
   Format.printf

@@ -12,7 +12,7 @@ let list_protocols () =
 let pp_inputs ppf inputs =
   Array.iter (fun v -> Format.fprintf ppf "%a" Flp.Value.pp v) inputs
 
-let run_checks name max_configs trials dot_file =
+let run_checks name max_configs trials jobs dot_file =
   match Flp.Zoo.find name with
   | None ->
       Format.eprintf "unknown protocol %S; try --list@." name;
@@ -20,15 +20,15 @@ let run_checks name max_configs trials dot_file =
   | Some protocol ->
       let module P = (val protocol : Flp.Protocol.S) in
       let module A = Flp.Analysis.Make (P) in
-      Format.printf "== %s (n = %d processes, max %d configurations) ==@.@." P.name P.n
-        max_configs;
+      Format.printf "== %s (n = %d processes, max %d configurations, %d domains) ==@.@."
+        P.name P.n max_configs jobs;
       let mixed =
         Array.init P.n (fun i -> if i = P.n - 1 then Flp.Value.One else Flp.Value.Zero)
       in
       (* optional GraphViz export of the mixed-input configuration graph *)
       (match dot_file with
       | Some path ->
-          let g = A.Explore.explore ~max_configs (A.C.initial mixed) in
+          let g = A.Explore.explore ~jobs ~max_configs (A.C.initial mixed) in
           let valences =
             if A.Explore.complete g then Some (A.Valency.classify g) else None
           in
@@ -49,11 +49,11 @@ let run_checks name max_configs trials dot_file =
           match cls.valence with
           | Some v -> Format.printf "  inputs %a: %a@." pp_inputs cls.inputs A.Valency.pp_valence v
           | None -> Format.printf "  inputs %a: state space overflow@." pp_inputs cls.inputs)
-        (A.Lemma.check_lemma2 ~max_configs);
+        (A.Lemma.check_lemma2 ~jobs ~max_configs ());
       (* Lemma 3 on the mixed-input run, when it is bivalent *)
-      (match A.Valency.of_initial ~max_configs mixed with
+      (match A.Valency.of_initial ~jobs ~max_configs mixed with
       | A.Valency.Bivalent ->
-          let s = A.Lemma.check_lemma3 ~max_configs mixed in
+          let s = A.Lemma.check_lemma3 ~jobs ~max_configs mixed in
           Format.printf
             "@.Lemma 3 from inputs %a: %d bivalent configurations, %d/%d (config, event) \
              pairs keep a bivalent successor set D@."
@@ -64,7 +64,7 @@ let run_checks name max_configs trials dot_file =
                protocol stops being totally correct)@."
       | _ -> Format.printf "@.Lemma 3 skipped: inputs %a are not bivalent@." pp_inputs mixed);
       (* trichotomy *)
-      let v = A.Lemma.classify ~max_configs in
+      let v = A.Lemma.classify ~jobs ~max_configs () in
       Format.printf "@.Impossibility trichotomy:@.";
       Format.printf "  partially correct:          %b@." v.partially_correct;
       (match v.correctness_detail.conflict_witness with
@@ -109,6 +109,11 @@ let max_configs_arg =
 let trials_arg =
   Arg.(value & opt int 200 & info [ "trials" ] ~docv:"N" ~doc:"Lemma 1 random trials.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for state-space exploration (deterministic at any value).")
+
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available protocols and exit.")
 
 let dot_arg =
@@ -116,11 +121,17 @@ let dot_arg =
        & info [ "dot" ] ~docv:"FILE" ~doc:"Write the configuration graph as GraphViz.")
 
 let cmd =
-  let run list name max_configs trials dot_file =
-    if list then list_protocols () else run_checks name max_configs trials dot_file
+  let run list name max_configs trials jobs dot_file =
+    if jobs < 1 then begin
+      Format.eprintf "flp_check: --jobs must be at least 1 (got %d)@." jobs;
+      exit 2
+    end;
+    if list then list_protocols () else run_checks name max_configs trials jobs dot_file
   in
   Cmd.v
     (Cmd.info "flp_check" ~doc:"Exhaustively check the FLP lemmas on a finite protocol")
-    Term.(const run $ list_arg $ protocol_arg $ max_configs_arg $ trials_arg $ dot_arg)
+    Term.(
+      const run $ list_arg $ protocol_arg $ max_configs_arg $ trials_arg $ jobs_arg
+      $ dot_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -51,11 +51,15 @@ let resolve_rules names =
       in
       go [] names
 
-let run list list_rules_flag protocols rules max_configs seed trials json =
+let run list list_rules_flag protocols rules max_configs seed trials jobs json =
   if list then list_protocols ()
   else if list_rules_flag then list_rules ()
   else if max_configs < 1 then begin
     Format.eprintf "flp_lint: --max-configs must be at least 1 (got %d)@." max_configs;
+    exit 2
+  end
+  else if jobs < 1 then begin
+    Format.eprintf "flp_lint: --jobs must be at least 1 (got %d)@." jobs;
     exit 2
   end
   else
@@ -70,7 +74,7 @@ let run list list_rules_flag protocols rules max_configs seed trials json =
             rule_opts = { Lint.Rules.default_opts with max_configs; seed; trials };
           }
         in
-        let reports = Lint.Runner.lint_many ~opts protocols in
+        let reports = Lint.Runner.lint_many ~opts ~jobs protocols in
         if json then print_string (Lint.Json.to_string_pretty (Lint.Report.batch_to_json reports))
         else begin
           List.iter (fun r -> Format.printf "%a@.@." Lint.Report.pp r) reports;
@@ -108,6 +112,11 @@ let trials_arg =
   Arg.(value & opt int Lint.Rules.default_opts.trials
        & info [ "trials" ] ~docv:"N" ~doc:"Commutativity spot-check trials.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Audit up to N protocols concurrently (reports stay in order).")
+
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available protocols and exit.")
@@ -120,6 +129,6 @@ let cmd =
     (Cmd.info "flp_lint" ~doc:"Audit protocols against the FLP \xc2\xa72 model axioms")
     Term.(
       const run $ list_arg $ list_rules_arg $ protocols_arg $ rules_arg $ max_configs_arg
-      $ seed_arg $ trials_arg $ json_arg)
+      $ seed_arg $ trials_arg $ jobs_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,7 @@ let () =
       match cls.valence with
       | Some v -> Format.printf "  inputs %s: %a@." s A.Valency.pp_valence v
       | None -> Format.printf "  inputs %s: (overflow)@." s)
-    (A.Lemma.check_lemma2 ~max_configs);
+    (A.Lemma.check_lemma2 ~max_configs ());
   Format.printf
     "Every mixed-input configuration is bivalent: the decision is not determined by the \
      inputs, only by the message race — the adversary's foothold.@.@.";

@@ -57,7 +57,7 @@ let () =
                  determined.@."
     A.Valency.pp_valence valences.(0);
   (* 3. Partial correctness. *)
-  let c = A.Lemma.check_partial_correctness ~max_configs:10_000 in
+  let c = A.Lemma.check_partial_correctness ~max_configs:10_000 () in
   Format.printf "3. Partially correct: no conflicting decisions = %b, reachable decisions = %s.@."
     c.no_conflicting_decisions
     (String.concat "," (List.map Value.to_string c.reachable_decision_values));

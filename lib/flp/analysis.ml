@@ -51,21 +51,19 @@ module Make (P : Protocol.S) = struct
           g.count <- g.count + 1;
           Some id
 
-    let explore ?(filter = fun _ -> true) ~max_configs root_cfg =
-      if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
-      let g =
-        {
-          configs = Array.make 64 root_cfg;
-          count = 0;
-          ids = Tbl.create 1024;
-          succs = Array.make 64 [];
-          parents = Array.make 64 (-1, None);
-          expanded_flags = Bytes.make 64 '\000';
-          complete_flag = true;
-          edges = 0;
-        }
-      in
-      ignore (intern g root_cfg ~parent:(-1, None));
+    let make_graph root_cfg =
+      {
+        configs = Array.make 64 root_cfg;
+        count = 0;
+        ids = Tbl.create 1024;
+        succs = Array.make 64 [];
+        parents = Array.make 64 (-1, None);
+        expanded_flags = Bytes.make 64 '\000';
+        complete_flag = true;
+        edges = 0;
+      }
+
+    let explore_sequential ~filter ~max_configs g =
       let queue = Queue.create () in
       Queue.push 0 queue;
       while not (Queue.is_empty queue) do
@@ -94,7 +92,65 @@ module Make (P : Protocol.S) = struct
           (C.events cfg);
         g.succs.(u) <- List.rev !out;
         Bytes.set g.expanded_flags u '\001'
-      done;
+      done
+
+    (* Frontier-batched BFS: the successor computations ([C.events] +
+       [C.apply]) — the hot, pure part — run on a domain pool, one slice of
+       the frontier per worker; the resulting [(event, config')] lists are
+       then interned {e sequentially, in frontier order}.  The sequential BFS
+       pops its FIFO queue in exactly that order and appends children behind
+       every already-queued node, so the interleaving of [intern] calls — and
+       with it every graph ID, the [succs] ordering, the [parents] witnesses,
+       and the truncation point at [max_configs] — is bit-identical to
+       {!explore_sequential}. *)
+    let explore_frontier ~filter ~jobs ~max_configs g =
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          let frontier = ref [ 0 ] in
+          while !frontier <> [] do
+            let batch = Array.of_list !frontier in
+            let cfgs = Array.map (fun u -> g.configs.(u)) batch in
+            let expansions =
+              Parallel.Pool.map pool
+                (fun cfg ->
+                  List.filter_map
+                    (fun e -> if filter e then Some (e, C.apply cfg e) else None)
+                    (C.events cfg))
+                cfgs
+            in
+            let next = ref [] in
+            Array.iteri
+              (fun i u ->
+                let out = ref [] in
+                List.iter
+                  (fun (e, cfg') ->
+                    match Tbl.find_opt g.ids cfg' with
+                    | Some v ->
+                        out := (e, v) :: !out;
+                        g.edges <- g.edges + 1
+                    | None ->
+                        if g.count >= max_configs then g.complete_flag <- false
+                        else begin
+                          match intern g cfg' ~parent:(u, Some e) with
+                          | Some v ->
+                              out := (e, v) :: !out;
+                              g.edges <- g.edges + 1;
+                              next := v :: !next
+                          | None -> ()
+                        end)
+                  expansions.(i);
+                g.succs.(u) <- List.rev !out;
+                Bytes.set g.expanded_flags u '\001')
+              batch;
+            frontier := List.rev !next
+          done)
+
+    let explore ?(filter = fun _ -> true) ?(jobs = 1) ~max_configs root_cfg =
+      if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
+      if jobs < 1 then invalid_arg "Explore.explore: jobs must be >= 1";
+      let g = make_graph root_cfg in
+      ignore (intern g root_cfg ~parent:(-1, None));
+      if jobs = 1 then explore_sequential ~filter ~max_configs g
+      else explore_frontier ~filter ~jobs ~max_configs g;
       g
 
     let complete g = g.complete_flag
@@ -176,8 +232,8 @@ module Make (P : Protocol.S) = struct
           | _ -> Bivalent)
         masks
 
-    let of_initial ~max_configs inputs =
-      let g = Explore.explore ~max_configs (C.initial inputs) in
+    let of_initial ?(jobs = 1) ~max_configs inputs =
+      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
       (classify g).(0)
   end
 
@@ -270,23 +326,23 @@ module Make (P : Protocol.S) = struct
           Array.init P.n (fun pid ->
               if bits land (1 lsl pid) <> 0 then Value.One else Value.Zero))
 
-    let check_lemma2 ~max_configs =
+    let check_lemma2 ?(jobs = 1) ~max_configs () =
       List.map
         (fun inputs ->
           let valence =
-            try Some (Valency.of_initial ~max_configs inputs)
+            try Some (Valency.of_initial ~jobs ~max_configs inputs)
             with Valency.Incomplete -> None
           in
           { inputs; valence })
         (all_inputs ())
 
-    let bivalent_initials ~max_configs =
-      check_lemma2 ~max_configs
+    let bivalent_initials ?(jobs = 1) ~max_configs () =
+      check_lemma2 ~jobs ~max_configs ()
       |> List.filter_map (fun cls ->
              match cls.valence with Some Valency.Bivalent -> Some cls.inputs | _ -> None)
 
-    let adjacent_opposite_pairs ~max_configs =
-      let classes = check_lemma2 ~max_configs in
+    let adjacent_opposite_pairs ?(jobs = 1) ~max_configs () =
+      let classes = check_lemma2 ~jobs ~max_configs () in
       let valence_of inputs =
         List.find_map
           (fun cls -> if cls.inputs = inputs then cls.valence else None)
@@ -348,8 +404,8 @@ module Make (P : Protocol.S) = struct
       done;
       !found
 
-    let check_lemma3 ?(max_pairs = max_int) ~max_configs inputs =
-      let g = Explore.explore ~max_configs (C.initial inputs) in
+    let check_lemma3 ?(max_pairs = max_int) ?(jobs = 1) ~max_configs inputs =
+      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       let bivalent_ids =
         List.filter
@@ -407,8 +463,8 @@ module Make (P : Protocol.S) = struct
       done;
       !members
 
-    let lemma3_case_analysis ?(max_pairs = max_int) ~max_configs inputs =
-      let g = Explore.explore ~max_configs (C.initial inputs) in
+    let lemma3_case_analysis ?(max_pairs = max_int) ?(jobs = 1) ~max_configs inputs =
+      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       let bivalent_ids =
         List.filter
@@ -489,13 +545,13 @@ module Make (P : Protocol.S) = struct
       exhaustive : bool;
     }
 
-    let check_partial_correctness ~max_configs =
+    let check_partial_correctness ?(jobs = 1) ~max_configs () =
       let conflict = ref None in
       let values = ref [] in
       let exhaustive = ref true in
       List.iter
         (fun inputs ->
-          let g = Explore.explore ~max_configs (C.initial inputs) in
+          let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
           if not (Explore.complete g) then exhaustive := false;
           for id = 0 to Explore.size g - 1 do
             let dv = C.decision_values (Explore.config g id) in
@@ -511,11 +567,11 @@ module Make (P : Protocol.S) = struct
         exhaustive = !exhaustive;
       }
 
-    let find_blocking_run ~max_configs ~faulty inputs =
+    let find_blocking_run ?(jobs = 1) ~max_configs ~faulty inputs =
       let g =
         Explore.explore
           ~filter:(fun (e : C.event) -> e.dest <> faulty)
-          ~max_configs (C.initial inputs)
+          ~jobs ~max_configs (C.initial inputs)
       in
       let n = Explore.size g in
       (* Backward reachability from decision-bearing configurations. *)
@@ -620,13 +676,13 @@ module Make (P : Protocol.S) = struct
       done;
       !components
 
-    let find_fair_nondeciding_cycle ~max_configs ~faulty inputs =
+    let find_fair_nondeciding_cycle ?(jobs = 1) ~max_configs ~faulty inputs =
       let filter =
         match faulty with
         | Some p -> fun (e : C.event) -> e.dest <> p
         | None -> fun _ -> true
       in
-      let g = Explore.explore ~filter ~max_configs (C.initial inputs) in
+      let g = Explore.explore ~filter ~jobs ~max_configs (C.initial inputs) in
       let n = Explore.size g in
       let undecided =
         Array.init n (fun id -> C.decision_values (Explore.config g id) = [])
@@ -686,19 +742,19 @@ module Make (P : Protocol.S) = struct
       fair_cycle : (int option * Value.t array * C.event list) option;
     }
 
-    let classify ~max_configs =
-      let detail = check_partial_correctness ~max_configs in
+    let classify ?(jobs = 1) ~max_configs () =
+      let detail = check_partial_correctness ~jobs ~max_configs () in
       let partially_correct =
         detail.no_conflicting_decisions
         && List.length detail.reachable_decision_values = 2
       in
-      let has_bivalent_initial = bivalent_initials ~max_configs <> [] in
+      let has_bivalent_initial = bivalent_initials ~jobs ~max_configs () <> [] in
       let blocking = ref None in
       (try
          List.iter
            (fun inputs ->
              for faulty = 0 to P.n - 1 do
-               match find_blocking_run ~max_configs ~faulty inputs with
+               match find_blocking_run ~jobs ~max_configs ~faulty inputs with
                | `Blocking_witness schedule ->
                    blocking := Some (faulty, inputs, schedule);
                    raise Exit
@@ -712,7 +768,7 @@ module Make (P : Protocol.S) = struct
            (fun inputs ->
              List.iter
                (fun faulty ->
-                 match find_fair_nondeciding_cycle ~max_configs ~faulty inputs with
+                 match find_fair_nondeciding_cycle ~jobs ~max_configs ~faulty inputs with
                  | `Fair_cycle schedule ->
                      fair_cycle := Some (faulty, inputs, schedule);
                      raise Exit
@@ -786,8 +842,8 @@ module Make (P : Protocol.S) = struct
           then rest
           else (dest, msg) :: remove_pending e rest
 
-    let run ~max_configs ~stages inputs =
-      let g = Explore.explore ~max_configs (C.initial inputs) in
+    let run ?(jobs = 1) ~max_configs ~stages inputs =
+      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       if not (Valency.equal_valence valences.(0) Valency.Bivalent) then
         invalid_arg "Adversary.run: initial configuration is not bivalent";

@@ -29,11 +29,21 @@ module Make (P : Protocol.S) : sig
     type graph
     (** Reachable configuration graph from a root, possibly truncated. *)
 
-    val explore : ?filter:(C.event -> bool) -> max_configs:int -> C.t -> graph
+    val explore :
+      ?filter:(C.event -> bool) -> ?jobs:int -> max_configs:int -> C.t -> graph
     (** BFS over configurations.  [filter] restricts which events may be
         applied (used to exclude a process, or a specific event for the
         Lemma 3 set [%C]).  Exploration stops interning new configurations
-        once [max_configs] is reached; the result is then {e incomplete}. *)
+        once [max_configs] is reached; the result is then {e incomplete}.
+
+        [jobs] (default [1]) sets the number of worker domains used to
+        expand the BFS frontier: successor computations run in parallel,
+        after which the resulting configurations are interned sequentially
+        in frontier order.  The produced graph is {e bit-identical} for
+        every [jobs] value — IDs, successor-list order, parent witnesses and
+        the truncation point all match the sequential explorer — so [jobs]
+        is purely a throughput knob.  [jobs:1] runs the plain sequential
+        code path.  Raises [Invalid_argument] when [jobs < 1]. *)
 
     val complete : graph -> bool
 
@@ -79,9 +89,9 @@ module Make (P : Protocol.S) : sig
     (** Valence of every configuration, by fixpoint propagation of reachable
         decision values.  Requires a complete graph. *)
 
-    val of_initial : max_configs:int -> Value.t array -> valence
+    val of_initial : ?jobs:int -> max_configs:int -> Value.t array -> valence
     (** Convenience: explore from the given initial configuration and return
-        its valence. *)
+        its valence.  [jobs] is forwarded to {!Explore.explore}. *)
   end
 
   val dot : ?valences:Valency.valence array -> Explore.graph -> string
@@ -118,13 +128,14 @@ module Make (P : Protocol.S) : sig
       valence : Valency.valence option;  (** [None] if exploration overflowed *)
     }
 
-    val check_lemma2 : max_configs:int -> initial_class list
-    (** Classify all [2^n] initial configurations. *)
+    val check_lemma2 : ?jobs:int -> max_configs:int -> unit -> initial_class list
+    (** Classify all [2^n] initial configurations.  [jobs] is forwarded to
+        every underlying exploration (here and in every checker below). *)
 
-    val bivalent_initials : max_configs:int -> Value.t array list
+    val bivalent_initials : ?jobs:int -> max_configs:int -> unit -> Value.t array list
 
     val adjacent_opposite_pairs :
-      max_configs:int -> (Value.t array * Value.t array * int) list
+      ?jobs:int -> max_configs:int -> unit -> (Value.t array * Value.t array * int) list
     (** The chain argument inside Lemma 2's proof: pairs of {e adjacent}
         initial configurations (differing in exactly one process's input)
         with opposite univalences, as [(inputs0, inputs1, pid)].  When a
@@ -144,7 +155,7 @@ module Make (P : Protocol.S) : sig
     }
 
     val check_lemma3 :
-      ?max_pairs:int -> max_configs:int -> Value.t array -> lemma3_stats
+      ?max_pairs:int -> ?jobs:int -> max_configs:int -> Value.t array -> lemma3_stats
     (** For each reachable bivalent configuration [C] of the run from the
         given inputs and each applicable event [e], check that
         [D = e(%C)] contains a bivalent configuration, where [%C] is the set
@@ -165,7 +176,7 @@ module Make (P : Protocol.S) : sig
     }
 
     val lemma3_case_analysis :
-      ?max_pairs:int -> max_configs:int -> Value.t array -> lemma3_cases
+      ?max_pairs:int -> ?jobs:int -> max_configs:int -> Value.t array -> lemma3_cases
     (** Figures 2 and 3, executably: wherever Lemma 3's conclusion fails
         (which for a totally correct protocol is everywhere the proof derives
         its contradiction), find the neighboring configurations with
@@ -188,9 +199,10 @@ module Make (P : Protocol.S) : sig
               which case a clean bill of health is only partial *)
     }
 
-    val check_partial_correctness : max_configs:int -> correctness
+    val check_partial_correctness : ?jobs:int -> max_configs:int -> unit -> correctness
 
     val find_blocking_run :
+      ?jobs:int ->
       max_configs:int ->
       faulty:int ->
       Value.t array ->
@@ -201,6 +213,7 @@ module Make (P : Protocol.S) : sig
         is an admissible non-deciding run. *)
 
     val find_fair_nondeciding_cycle :
+      ?jobs:int ->
       max_configs:int ->
       faulty:int option ->
       Value.t array ->
@@ -231,7 +244,7 @@ module Make (P : Protocol.S) : sig
               fair non-deciding cycle, when one was found *)
     }
 
-    val classify : max_configs:int -> verdict
+    val classify : ?jobs:int -> max_configs:int -> unit -> verdict
     (** Theorem 1 in executable form: every protocol must fail partial
         correctness or admit a non-deciding admissible run — which for a
         finite protocol is either a {e blocking} run (some reachable
@@ -266,7 +279,7 @@ module Make (P : Protocol.S) : sig
       outcome : outcome;
     }
 
-    val run : max_configs:int -> stages:int -> Value.t array -> run
+    val run : ?jobs:int -> max_configs:int -> stages:int -> Value.t array -> run
     (** Raises [Invalid_argument] if the initial configuration for [inputs]
         is not bivalent, and {!Valency.Incomplete} if the state space
         overflows [max_configs]. *)

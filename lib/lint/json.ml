@@ -2,6 +2,7 @@ type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | Str of string
   | List of t list
   | Obj of (string * t) list
@@ -51,6 +52,10 @@ let rec render buf ~indent t =
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* JSON has no nan/infinity literals; those degrade to null *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
   | Str s -> add_escaped buf s
   | List xs ->
       items ~open_c:'[' ~close_c:']'

@@ -26,6 +26,16 @@ let lint ?(opts = default_opts) (protocol : Flp.Protocol.t) =
     findings;
   }
 
-let lint_many ?(opts = default_opts) protocols = List.map (fun p -> lint ~opts p) protocols
+(* Audits of distinct protocols are independent (each builds its own walk
+   and findings), so they fan out naturally over a domain pool; report order
+   still follows the input order. *)
+let lint_many ?(opts = default_opts) ?(jobs = 1) protocols =
+  if jobs < 1 then invalid_arg "Runner.lint_many: jobs must be >= 1";
+  if jobs = 1 then List.map (fun p -> lint ~opts p) protocols
+  else
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Array.to_list
+          (Parallel.Pool.map ~chunk:1 pool (fun p -> lint ~opts p)
+             (Array.of_list protocols)))
 
 let exit_code reports = if Report.total_errors reports > 0 then 1 else 0

@@ -18,7 +18,10 @@ val lint : ?opts:opts -> Flp.Protocol.t -> Report.t
 (** Audit one packed protocol: walk its reachable configurations once, then
     run every selected rule against the walk. *)
 
-val lint_many : ?opts:opts -> Flp.Protocol.t list -> Report.t list
+val lint_many : ?opts:opts -> ?jobs:int -> Flp.Protocol.t list -> Report.t list
+(** Audit a batch.  [jobs] (default [1]) audits up to that many protocols
+    concurrently on a domain pool; reports are returned in input order
+    either way, so the output is independent of [jobs]. *)
 
 val exit_code : Report.t list -> int
 (** [1] when any report carries an [Error]-severity finding, [0] otherwise. *)

@@ -1,0 +1,134 @@
+(* Barrier-style domain pool: one mutable "current batch" slot guarded by a
+   mutex, an epoch counter so workers can tell a fresh batch from a spurious
+   wakeup, and a pending count the caller waits on.  Workers never return
+   results through shared state themselves — batch functions write to
+   disjoint indices of caller-owned arrays (see [map]), and the mutex
+   acquire/release around the pending-count handshake provides the
+   happens-before edge that makes those writes visible to the caller. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int;  (* bumped once per batch *)
+  mutable task : int -> unit;  (* the current batch, indexed by worker *)
+  mutable pending : int;  (* workers still inside the current batch *)
+  mutable failure : exn option;  (* first exception raised by a worker *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let worker t index =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.epoch = !seen do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.epoch;
+      let task = t.task in
+      Mutex.unlock t.mutex;
+      let outcome = try task index; None with exn -> Some exn in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Some _ when t.failure = None -> t.failure <- outcome
+      | Some _ | None -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      epoch = 0;
+      task = ignore;
+      pending = 0;
+      failure = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let run t f =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  if t.jobs = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.task <- f;
+    t.failure <- None;
+    t.pending <- t.jobs - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The caller is worker 0; even if its share raises we must still wait
+       for the other workers to drain before re-raising. *)
+    let own = try f 0; None with exn -> Some exn in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.mutex
+    done;
+    let failure = t.failure in
+    Mutex.unlock t.mutex;
+    match own with
+    | Some exn -> raise exn
+    | None -> ( match failure with Some exn -> raise exn | None -> ())
+  end
+
+let map ?chunk t f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if t.jobs = 1 then Array.map f input
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> max 1 (1 + ((n - 1) / (t.jobs * 4)))
+    in
+    let out = Array.make n None in
+    let cursor = Atomic.make 0 in
+    run t (fun _ ->
+        let running = ref true in
+        while !running do
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then running := false
+          else
+            for i = start to Stdlib.min n (start + chunk) - 1 do
+              out.(i) <- Some (f input.(i))
+            done
+        done);
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let domains = t.domains in
+  t.domains <- [];
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,6 +1,10 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable len : int; mutable next_seq : int }
+(* Slots hold [option]s so vacated positions can be nulled out: a popped
+   entry that stayed reachable through the backing array would pin its event
+   payload until the slot happened to be overwritten — a space leak over a
+   long simulation. *)
+type 'a t = { mutable data : 'a entry option array; mutable len : int; mutable next_seq : int }
 
 let create () = { data = [||]; len = 0; next_seq = 0 }
 
@@ -9,16 +13,20 @@ let is_empty h = h.len = 0
 let size h = h.len
 
 let clear h =
-  h.data <- [||];
+  (* Keep the backing array (capacity is reused by the next run) but drop
+     every reference it holds. *)
+  Array.fill h.data 0 (Array.length h.data) None;
   h.len <- 0
+
+let get h i = match h.data.(i) with Some e -> e | None -> assert false
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow h entry =
+let grow h =
   let cap = Array.length h.data in
   if h.len = cap then begin
     let ncap = max 16 (2 * cap) in
-    let nd = Array.make ncap entry in
+    let nd = Array.make ncap None in
     Array.blit h.data 0 nd 0 h.len;
     h.data <- nd
   end
@@ -26,8 +34,8 @@ let grow h entry =
 let push h ~time value =
   let entry = { time; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  grow h entry;
-  h.data.(h.len) <- entry;
+  grow h;
+  h.data.(h.len) <- Some entry;
   h.len <- h.len + 1;
   (* Sift up. *)
   let i = ref (h.len - 1) in
@@ -35,7 +43,7 @@ let push h ~time value =
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    if before h.data.(!i) h.data.(parent) then begin
+    if before (get h !i) (get h parent) then begin
       let tmp = h.data.(parent) in
       h.data.(parent) <- h.data.(!i);
       h.data.(!i) <- tmp;
@@ -50,18 +58,19 @@ let push h ~time value =
 let pop h =
   if h.len = 0 then None
   else begin
-    let root = h.data.(0) in
+    let root = get h 0 in
     h.len <- h.len - 1;
     if h.len > 0 then begin
       h.data.(0) <- h.data.(h.len);
+      h.data.(h.len) <- None;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < h.len && before h.data.(l) h.data.(!smallest) then smallest := l;
-        if r < h.len && before h.data.(r) h.data.(!smallest) then smallest := r;
+        if l < h.len && before (get h l) (get h !smallest) then smallest := l;
+        if r < h.len && before (get h r) (get h !smallest) then smallest := r;
         if !smallest <> !i then begin
           let tmp = h.data.(!smallest) in
           h.data.(!smallest) <- h.data.(!i);
@@ -70,8 +79,9 @@ let pop h =
         end
         else continue := false
       done
-    end;
+    end
+    else h.data.(0) <- None;
     Some (root.time, root.value)
   end
 
-let peek_time h = if h.len = 0 then None else Some h.data.(0).time
+let peek_time h = if h.len = 0 then None else Some (get h 0).time

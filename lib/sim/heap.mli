@@ -16,9 +16,13 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Insert an element with the given timestamp. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest element, or [None] when empty. *)
+(** Remove and return the earliest element, or [None] when empty.  The
+    vacated slot is nulled out, so the heap retains no reference to a popped
+    value. *)
 
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest element without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the heap.  Capacity is retained for reuse, but every held value is
+    released. *)

@@ -20,8 +20,21 @@ let split t = { state = int64 t }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let mask = Int64.shift_right_logical (int64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  let b = Int64.of_int bound in
+  (* Rejection sampling: a plain [rem] over 63-bit draws over-represents the
+     residues below [2^63 mod bound].  Accept a draw only when its whole
+     residue block fits below 2^63, i.e. when [draw - r + (b - 1)] does not
+     overflow past [Int64.max_int] (the Java [nextInt] trick).  Draws that
+     would have been accepted return exactly the value the old modulo
+     returned, so seeded streams only change at the (astronomically rare for
+     small bounds) rejected draws. *)
+  let rec go () =
+    let draw = Int64.shift_right_logical (int64 t) 1 in
+    let r = Int64.rem draw b in
+    if Int64.compare (Int64.add (Int64.sub draw r) (Int64.sub b 1L)) 0L < 0 then go ()
+    else Int64.to_int r
+  in
+  go ()
 
 let float t bound =
   (* 53 random bits scaled into [0, 1). *)

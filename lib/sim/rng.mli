@@ -22,8 +22,10 @@ val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
-    [bound <= 0]. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, by rejection
+    sampling, even for bounds that do not divide [2^63].  May consume more
+    than one raw draw (expected retries < 1 for every bound).  Raises
+    [Invalid_argument] if [bound <= 0]. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -6,10 +6,20 @@ type t = {
   mutable max : float;
   mutable total : float;
   mutable samples : float list;  (* retained for percentiles *)
+  mutable sorted : float array option;  (* cache, invalidated by [add] *)
 }
 
 let create () =
-  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0; samples = [] }
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    total = 0.0;
+    samples = [];
+    sorted = None;
+  }
 
 let add t x =
   t.n <- t.n + 1;
@@ -19,7 +29,8 @@ let add t x =
   if x < t.min then t.min <- x;
   if x > t.max then t.max <- x;
   t.total <- t.total +. x;
-  t.samples <- x :: t.samples
+  t.samples <- x :: t.samples;
+  t.sorted <- None
 
 let add_list t xs = List.iter (add t) xs
 
@@ -39,11 +50,22 @@ let max t = if t.n = 0 then nan else t.max
 
 let total t = t.total
 
+(* [Float.compare] gives NaNs a definite rank (below every number) instead
+   of whatever the polymorphic compare happens to do, and the sorted array is
+   cached so repeated percentile queries don't re-sort the whole sample. *)
+let sorted_samples t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
 let percentile t p =
   if t.n = 0 then nan
   else begin
-    let a = Array.of_list t.samples in
-    Array.sort compare a;
+    let a = sorted_samples t in
     let p = Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (Array.length a - 1) in
     let lo = int_of_float (floor rank) in

@@ -29,7 +29,10 @@ val total : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0, 100\]], by linear interpolation over the
-    retained samples.  [nan] when empty. *)
+    retained samples.  Samples are ordered with [Float.compare], so NaN
+    samples rank below every number instead of scrambling the tails.  The
+    sorted order is cached and invalidated by {!add}, so repeated queries
+    cost one sort total.  [nan] when empty. *)
 
 val ci95 : t -> float
 (** Half-width of the normal-approximation 95% confidence interval of the

@@ -24,7 +24,7 @@ let classify_random spec seed =
   let protocol = Random_protocol.generate spec ~seed in
   let module P = (val protocol : Protocol.S) in
   let module A = Analysis.Make (P) in
-  match A.Lemma.check_partial_correctness ~max_configs:budget with
+  match A.Lemma.check_partial_correctness ~max_configs:budget () with
   | exception A.Valency.Incomplete -> None
   | detail ->
       if not detail.exhaustive then None
@@ -81,12 +81,26 @@ let spec_chatty = { Random_protocol.default_spec with states = 4; messages = 3; 
 
 let spec_trio = { Random_protocol.default_spec with n = 3; states = 2; decide_bias = 3 }
 
+(* Fuzz trials are independent (one protocol table per seed), so the
+   classification fans out over a domain pool; the Alcotest assertions stay
+   on the main domain, over results delivered in seed order. *)
+let jobs =
+  match Sys.getenv_opt "FLP_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some j when j >= 1 -> j | Some _ | None -> 2)
+  | None -> 2
+
 let run_fuzz name spec first_seed seeds =
   let explored = ref 0 in
   let overflowed = ref 0 in
   let pc_count = ref 0 in
-  for seed = first_seed to first_seed + seeds - 1 do
-    match classify_random spec seed with
+  let outcomes =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Pool.map pool
+          (fun seed -> (seed, classify_random spec seed))
+          (Array.init seeds (fun i -> first_seed + i)))
+  in
+  Array.iter (fun (seed, outcome) ->
+    match outcome with
     | None -> incr overflowed
     | Some o ->
         incr explored;
@@ -98,8 +112,8 @@ let run_fuzz name spec first_seed seeds =
         (* THE theorem: a partially correct protocol must block or admit a
            fair non-deciding cycle *)
         if o.pc then
-          Alcotest.(check bool) (Printf.sprintf "%s/%d trichotomy" name seed) true o.escapes
-  done;
+          Alcotest.(check bool) (Printf.sprintf "%s/%d trichotomy" name seed) true o.escapes)
+    outcomes;
   Alcotest.(check bool)
     (Printf.sprintf "%s: enough instances explored (%d of %d, %d overflowed, %d pc)" name
        !explored seeds !overflowed !pc_count)

@@ -56,6 +56,65 @@ let test_growth () =
     prev := t
   done
 
+(* The space-leak regressions: a popped (or cleared) element must become
+   unreachable from the heap's backing store, observed through a weak
+   pointer surviving (or not) a full major collection.  Values are boxed
+   (strings built at runtime) so the weak pointer is meaningful. *)
+
+let weak_ref v =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some v);
+  w
+
+let test_pop_releases_value () =
+  let h = Sim.Heap.create () in
+  let w =
+    (* bind the boxed payload only inside this scope so the heap holds the
+       sole strong reference once we return *)
+    let payload = String.init 16 (fun i -> Char.chr (97 + (i mod 26))) in
+    Sim.Heap.push h ~time:1.0 payload;
+    Sim.Heap.push h ~time:2.0 "sentinel";
+    weak_ref payload
+  in
+  ignore (Sim.Heap.pop h);
+  (* one live entry remains: the vacated slot must not pin the popped value *)
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "heap still holds the sentinel" 1 (Sim.Heap.size h);
+  Alcotest.(check bool) "popped value collected" false (Weak.check w 0)
+
+let test_pop_last_releases_value () =
+  let h = Sim.Heap.create () in
+  let w =
+    let payload = String.init 16 (fun i -> Char.chr (65 + (i mod 26))) in
+    Sim.Heap.push h ~time:1.0 payload;
+    weak_ref payload
+  in
+  ignore (Sim.Heap.pop h);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "sole value collected after pop" false (Weak.check w 0)
+
+let test_clear_releases_values () =
+  let h = Sim.Heap.create () in
+  let ws =
+    List.init 8 (fun i ->
+        let payload = String.init 12 (fun j -> Char.chr (97 + ((i + j) mod 26))) in
+        Sim.Heap.push h ~time:(float_of_int i) payload;
+        weak_ref payload)
+  in
+  Sim.Heap.clear h;
+  Gc.full_major ();
+  Gc.full_major ();
+  List.iteri
+    (fun i w ->
+      Alcotest.(check bool) (Printf.sprintf "value %d collected after clear" i) false
+        (Weak.check w 0))
+    ws;
+  (* the cleared heap must still work *)
+  Sim.Heap.push h ~time:1.0 "again";
+  Alcotest.(check bool) "reusable after clear" true (Sim.Heap.pop h = Some (1.0, "again"))
+
 let prop_heapsort =
   QCheck.Test.make ~name:"pop order = sorted order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -92,6 +151,9 @@ let () =
           Alcotest.test_case "peek" `Quick test_peek;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "pop releases value" `Quick test_pop_releases_value;
+          Alcotest.test_case "pop last releases value" `Quick test_pop_last_releases_value;
+          Alcotest.test_case "clear releases values" `Quick test_clear_releases_values;
           QCheck_alcotest.to_alcotest prop_heapsort;
           QCheck_alcotest.to_alcotest prop_stable;
         ] );

@@ -41,9 +41,9 @@ let test_lemma1_all_zoo () =
     Zoo.all
 
 let test_lemma2_race () =
-  let classes = AR.Lemma.check_lemma2 ~max_configs:200_000 in
+  let classes = AR.Lemma.check_lemma2 ~max_configs:200_000 () in
   Alcotest.(check int) "8 initial configurations" 8 (List.length classes);
-  let bivalent = AR.Lemma.bivalent_initials ~max_configs:200_000 in
+  let bivalent = AR.Lemma.bivalent_initials ~max_configs:200_000 () in
   (* exactly the six mixed-input vectors are bivalent *)
   Alcotest.(check int) "six bivalent" 6 (List.length bivalent);
   List.iter
@@ -55,7 +55,7 @@ let test_lemma2_race () =
 
 let test_lemma2_and_wait_none () =
   Alcotest.(check int) "no bivalent initials" 0
-    (List.length (AA.Lemma.bivalent_initials ~max_configs:10_000))
+    (List.length (AA.Lemma.bivalent_initials ~max_configs:10_000 ()))
 
 let test_lemma3_race () =
   let s = AR.Lemma.check_lemma3 ~max_configs:200_000 v001 in
@@ -74,13 +74,13 @@ let test_lemma3_max_pairs () =
   Alcotest.(check int) "bounded" 10 s.pairs_checked
 
 let test_partial_correctness_race () =
-  let c = AR.Lemma.check_partial_correctness ~max_configs:200_000 in
+  let c = AR.Lemma.check_partial_correctness ~max_configs:200_000 () in
   Alcotest.(check bool) "no conflicts" true c.no_conflicting_decisions;
   Alcotest.(check bool) "exhaustive" true c.exhaustive;
   Alcotest.(check int) "both values reachable" 2 (List.length c.reachable_decision_values)
 
 let test_partial_correctness_first_wins_violated () =
-  let c = AF.Lemma.check_partial_correctness ~max_configs:10_000 in
+  let c = AF.Lemma.check_partial_correctness ~max_configs:10_000 () in
   Alcotest.(check bool) "conflict found" false c.no_conflicting_decisions;
   match c.conflict_witness with
   | None -> Alcotest.fail "expected a witness schedule"
@@ -112,7 +112,7 @@ let test_blocking_leader_only_when_leader_dies () =
 let test_adjacent_opposite_pairs_and_wait () =
   (* and-wait decides AND of the inputs: 11 is 1-valent, its two neighbors
      are 0-valent — exactly the chain pivots of Lemma 2's proof *)
-  let pairs = AA.Lemma.adjacent_opposite_pairs ~max_configs:10_000 in
+  let pairs = AA.Lemma.adjacent_opposite_pairs ~max_configs:10_000 () in
   Alcotest.(check int) "two pivots around 11" 2 (List.length pairs);
   List.iter
     (fun (a, b, pid) ->
@@ -125,7 +125,7 @@ let test_adjacent_opposite_pairs_and_wait () =
 let test_adjacent_pairs_none_for_race () =
   (* race's univalent initials are 000 and 111, which are not adjacent *)
   Alcotest.(check int) "no univalent adjacency" 0
-    (List.length (AR.Lemma.adjacent_opposite_pairs ~max_configs:200_000))
+    (List.length (AR.Lemma.adjacent_opposite_pairs ~max_configs:200_000 ()))
 
 let test_lemma3_case_analysis_race () =
   let c = AR.Lemma.lemma3_case_analysis ~max_configs:200_000 v001 in
@@ -148,7 +148,7 @@ let test_classify_matches_zoo_expectations () =
     (fun (e : Zoo.entry) ->
       let module P = (val e.protocol : Protocol.S) in
       let module A = Analysis.Make (P) in
-      let v = A.Lemma.classify ~max_configs:500_000 in
+      let v = A.Lemma.classify ~max_configs:500_000 () in
       Alcotest.(check bool) (e.name ^ " partially correct") e.expected.partially_correct
         v.partially_correct;
       Alcotest.(check bool)
@@ -167,7 +167,7 @@ let test_impossibility_trichotomy () =
     (fun (e : Zoo.entry) ->
       let module P = (val e.protocol : Protocol.S) in
       let module A = Analysis.Make (P) in
-      let v = A.Lemma.classify ~max_configs:500_000 in
+      let v = A.Lemma.classify ~max_configs:500_000 () in
       Alcotest.(check bool)
         (e.name ^ " escapes Theorem 1 somehow")
         true

@@ -1,0 +1,236 @@
+(* The parallel explorer's contract is strong: for every [jobs] value the
+   produced graph is bit-identical to the sequential one — IDs, successor
+   order, parent witnesses, truncation point.  These tests hold the frontier
+   explorer to that contract over the whole zoo and over random fuzz tables,
+   and unit-test the domain pool itself. *)
+
+open Flp
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_matches_array_map () =
+  let input = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      let got = Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map pool f input) in
+      Alcotest.(check (array int)) (Printf.sprintf "jobs=%d" jobs) expected got)
+    [ 1; 2; 4 ]
+
+let test_map_empty () =
+  let got =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Parallel.Pool.map pool (fun x -> x + 1) [||])
+  in
+  Alcotest.(check (array int)) "empty in, empty out" [||] got
+
+let test_map_chunk_sizes () =
+  let input = Array.init 97 string_of_int in
+  let expected = Array.map (fun s -> s ^ "!") input in
+  List.iter
+    (fun chunk ->
+      let got =
+        Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+            Parallel.Pool.map ~chunk pool (fun s -> s ^ "!") input)
+      in
+      Alcotest.(check (array string)) (Printf.sprintf "chunk=%d" chunk) expected got)
+    [ 1; 2; 17; 97; 1000 ]
+
+let test_run_covers_all_workers () =
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Array.make 4 false in
+      (* each worker writes only its own slot: no races *)
+      Parallel.Pool.run pool (fun w -> hits.(w) <- true);
+      Alcotest.(check (array bool)) "every worker ran" [| true; true; true; true |] hits)
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let raised =
+        try
+          Parallel.Pool.with_pool ~jobs (fun pool ->
+              ignore
+                (Parallel.Pool.map pool
+                   (fun i -> if i = 13 then raise Boom else i)
+                   (Array.init 64 (fun i -> i)));
+              false)
+        with Boom -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "Boom resurfaces (jobs=%d)" jobs) true raised)
+    [ 1; 3 ]
+
+let test_pool_reusable_after_exception () =
+  Parallel.Pool.with_pool ~jobs:3 (fun pool ->
+      (try ignore (Parallel.Pool.map pool (fun _ -> raise Boom) [| 1; 2; 3 |])
+       with Boom -> ());
+      let got = Parallel.Pool.map pool (fun x -> x * 2) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool survives a failed batch" [| 2; 4; 6 |] got)
+
+let test_invalid_jobs () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d rejected" jobs)
+        true
+        (try
+           Parallel.Pool.with_pool ~jobs (fun _ -> ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -1 ]
+
+let test_shutdown_idempotent () =
+  let pool = Parallel.Pool.create ~jobs:2 in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool;
+  Alcotest.(check bool) "use after shutdown rejected" true
+    (try
+       ignore (Parallel.Pool.map pool Fun.id [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer determinism: parallel graph == sequential graph            *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural equality of two exploration graphs of the same protocol,
+   asserted piecewise so a mismatch names what diverged. *)
+let check_graphs_equal label ~event_equal ~size ~complete ~edge_count ~succ ~path_to g1 g4 =
+  Alcotest.(check int) (label ^ ": size") (size g1) (size g4);
+  Alcotest.(check bool) (label ^ ": complete") (complete g1) (complete g4);
+  Alcotest.(check int) (label ^ ": edge count") (edge_count g1) (edge_count g4);
+  let edge_equal (e1, v1) (e2, v2) = v1 = v2 && event_equal e1 e2 in
+  for u = 0 to size g1 - 1 do
+    let s1 = succ g1 u and s4 = succ g4 u in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: succs of %d" label u)
+      true
+      (List.length s1 = List.length s4 && List.for_all2 edge_equal s1 s4);
+    let p1 = path_to g1 u and p4 = path_to g4 u in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: path to %d" label u)
+      true
+      (List.length p1 = List.length p4 && List.for_all2 event_equal p1 p4)
+  done
+
+let check_protocol_deterministic ~budget ~jobs label protocol =
+  let module P = (val protocol : Protocol.S) in
+  let module A = Analysis.Make (P) in
+  let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+  let root = A.C.initial inputs in
+  let g1 = A.Explore.explore ~jobs:1 ~max_configs:budget root in
+  let gj = A.Explore.explore ~jobs ~max_configs:budget root in
+  check_graphs_equal label
+    ~event_equal:A.C.event_equal
+    ~size:A.Explore.size ~complete:A.Explore.complete ~edge_count:A.Explore.edge_count
+    ~succ:A.Explore.succ ~path_to:A.Explore.path_to g1 gj;
+  if A.Explore.complete g1 then begin
+    let v1 = A.Valency.classify g1 and vj = A.Valency.classify gj in
+    Alcotest.(check bool)
+      (label ^ ": valency classification")
+      true
+      (Array.length v1 = Array.length vj
+      && Array.for_all2 A.Valency.equal_valence v1 vj)
+  end
+
+let test_zoo_deterministic () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      check_protocol_deterministic ~budget:40_000 ~jobs:4 e.name e.protocol)
+    Zoo.all
+
+let test_fuzz_seeds_deterministic () =
+  for seed = 1 to 10 do
+    let protocol = Random_protocol.generate Random_protocol.default_spec ~seed in
+    check_protocol_deterministic ~budget:20_000 ~jobs:3
+      (Printf.sprintf "fuzz seed %d" seed)
+      protocol
+  done
+
+let test_truncation_deterministic () =
+  (* when the budget bites, sequential and parallel must truncate at the
+     same configuration with the same incomplete frontier *)
+  match Zoo.find "race:2" with
+  | None -> Alcotest.fail "race:2 missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      let root = A.C.initial inputs in
+      List.iter
+        (fun budget ->
+          let g1 = A.Explore.explore ~jobs:1 ~max_configs:budget root in
+          let g4 = A.Explore.explore ~jobs:4 ~max_configs:budget root in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget %d truncates" budget)
+            false (A.Explore.complete g1);
+          check_graphs_equal
+            (Printf.sprintf "race:2 @ %d" budget)
+            ~event_equal:A.C.event_equal
+            ~size:A.Explore.size ~complete:A.Explore.complete
+            ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+            ~path_to:A.Explore.path_to g1 g4)
+        [ 100; 500 ]
+
+let test_filter_respected_in_parallel () =
+  (* the Lemma 3 machinery relies on filtered exploration; the parallel
+     path must apply the same filter *)
+  match Zoo.find "race:2" with
+  | None -> Alcotest.fail "race:2 missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      let root = A.C.initial inputs in
+      let filter (e : A.C.event) = e.dest <> 0 in
+      let g1 = A.Explore.explore ~filter ~jobs:1 ~max_configs:40_000 root in
+      let g4 = A.Explore.explore ~filter ~jobs:4 ~max_configs:40_000 root in
+      check_graphs_equal "race:2 filtered"
+        ~event_equal:A.C.event_equal
+        ~size:A.Explore.size ~complete:A.Explore.complete
+        ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+        ~path_to:A.Explore.path_to g1 g4
+
+let test_explore_rejects_bad_jobs () =
+  match Zoo.find "parity" with
+  | None -> Alcotest.fail "parity missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      Alcotest.(check bool) "jobs:0 rejected" true
+        (try
+           ignore (A.Explore.explore ~jobs:0 ~max_configs:100 (A.C.initial inputs));
+           false
+         with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches Array.map" `Quick test_map_matches_array_map;
+          Alcotest.test_case "map on empty input" `Quick test_map_empty;
+          Alcotest.test_case "chunk sizes" `Quick test_map_chunk_sizes;
+          Alcotest.test_case "run covers all workers" `Quick test_run_covers_all_workers;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+          Alcotest.test_case "pool reusable after exception" `Quick
+            test_pool_reusable_after_exception;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "zoo graphs bit-identical" `Slow test_zoo_deterministic;
+          Alcotest.test_case "fuzz seeds bit-identical" `Slow test_fuzz_seeds_deterministic;
+          Alcotest.test_case "truncation point identical" `Quick
+            test_truncation_deterministic;
+          Alcotest.test_case "filtered exploration identical" `Quick
+            test_filter_respected_in_parallel;
+          Alcotest.test_case "explore rejects jobs < 1" `Quick test_explore_rejects_bad_jobs;
+        ] );
+    ]

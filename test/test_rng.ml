@@ -32,6 +32,44 @@ let test_int_covers () =
   done;
   Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
 
+let test_int_frequency () =
+  (* rejection sampling: every residue of a non-power-of-two bound should be
+     hit with near-equal frequency (the old [rem]-only code biased the low
+     residues) *)
+  let rng = Sim.Rng.create 41 in
+  let counts = Array.make 6 0 in
+  let draws = 60_000 in
+  for _ = 1 to draws do
+    let v = Sim.Rng.int rng 6 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let mn = Array.fold_left min max_int counts and mx = Array.fold_left max 0 counts in
+  (* each bucket ~10000, sigma ~91; 6% head-room is > 6 sigma *)
+  Alcotest.(check bool)
+    (Printf.sprintf "buckets balanced (min %d, max %d)" mn mx)
+    true
+    (float_of_int (mx - mn) /. float_of_int (draws / 6) < 0.06)
+
+let test_int_large_bound_unbiased () =
+  (* The regression the frequency test above cannot see: modulo bias is
+     proportional to bound / 2^63, so it only becomes measurable for huge
+     bounds.  With bound = 3 * 2^60 the old code returned a value below
+     2^61 with probability 3/4 instead of the uniform 2/3 — a 12-sigma
+     difference over this many draws. *)
+  let bound = 3 * (1 lsl 60) in
+  let threshold = 1 lsl 61 in
+  let rng = Sim.Rng.create 43 in
+  let draws = 50_000 in
+  let below = ref 0 in
+  for _ = 1 to draws do
+    if Sim.Rng.int rng bound < threshold then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "P(v < 2^61) near 2/3 (got %.4f)" frac)
+    true
+    (abs_float (frac -. (2.0 /. 3.0)) < 0.02)
+
 let test_float_bounds () =
   let rng = Sim.Rng.create 9 in
   for _ = 1 to 10_000 do
@@ -136,6 +174,8 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
           Alcotest.test_case "int invalid" `Quick test_int_invalid;
           Alcotest.test_case "int covers residues" `Quick test_int_covers;
+          Alcotest.test_case "int frequency" `Quick test_int_frequency;
+          Alcotest.test_case "int large bound unbiased" `Quick test_int_large_bound_unbiased;
           Alcotest.test_case "float bounds" `Quick test_float_bounds;
           Alcotest.test_case "float mean" `Quick test_float_mean;
           Alcotest.test_case "bool balance" `Quick test_bool_balance;

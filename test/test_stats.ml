@@ -40,6 +40,29 @@ let test_percentile_clamped () =
   Alcotest.(check (float 1e-9)) "p>100 clamps" 2.0 (Stats.Summary.percentile s 150.0);
   Alcotest.(check (float 1e-9)) "p<0 clamps" 1.0 (Stats.Summary.percentile s (-5.0))
 
+let test_percentile_cache_invalidated () =
+  (* the sorted snapshot is cached between percentile calls; an add in
+     between must invalidate it *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s [ 5.0; 1.0; 3.0 ];
+  Alcotest.(check (float 1e-9)) "p100 before" 5.0 (Stats.Summary.percentile s 100.0);
+  Alcotest.(check (float 1e-9)) "p0 before" 1.0 (Stats.Summary.percentile s 0.0);
+  Stats.Summary.add s 9.0;
+  Alcotest.(check (float 1e-9)) "p100 sees new max" 9.0 (Stats.Summary.percentile s 100.0);
+  Stats.Summary.add s 0.5;
+  Alcotest.(check (float 1e-9)) "p0 sees new min" 0.5 (Stats.Summary.percentile s 0.0)
+
+let test_percentile_nan_total_order () =
+  (* Float.compare is a total order: NaN sorts below every number, so a NaN
+     sample parks at p0 and leaves the numeric percentiles well-defined
+     (polymorphic compare gave unspecified, layout-dependent placement) *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.add_list s [ 2.0; Float.nan; 1.0; 3.0 ];
+  Alcotest.(check bool) "p0 is the NaN" true (Float.is_nan (Stats.Summary.percentile s 0.0));
+  Alcotest.(check (float 1e-9)) "p100 unaffected" 3.0 (Stats.Summary.percentile s 100.0);
+  (* 4 samples: p50 interpolates between ranks 1 and 2 = 1.0 .. 2.0 *)
+  Alcotest.(check (float 1e-9)) "p50 numeric" 1.5 (Stats.Summary.percentile s 50.0)
+
 let prop_mean_in_range =
   QCheck.Test.make ~name:"mean between min and max" ~count:300
     QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.0))
@@ -101,6 +124,10 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
           Alcotest.test_case "percentile clamped" `Quick test_percentile_clamped;
+          Alcotest.test_case "percentile cache invalidated" `Quick
+            test_percentile_cache_invalidated;
+          Alcotest.test_case "percentile NaN total order" `Quick
+            test_percentile_nan_total_order;
           QCheck_alcotest.to_alcotest prop_mean_in_range;
           QCheck_alcotest.to_alcotest prop_welford_matches_naive;
         ] );
