@@ -78,9 +78,10 @@ let bench_one ~repeats ~budget name =
       (name, base, ms)
 
 let json_of_results ~budget ~repeats results =
-  let open Lint.Json in
+  let open Flp_json in
   Obj
     [
+      ("type", Str "bench");
       ("benchmark", Str "explore");
       ("budget", Int budget);
       ("repeats", Int repeats);
@@ -127,9 +128,9 @@ let run budget repeats out =
     (Domain.recommended_domain_count ());
   let results = List.map (fun name -> bench_one ~repeats ~budget name) bench_protocols in
   let json = json_of_results ~budget ~repeats results in
-  let oc = open_out out in
-  output_string oc (Lint.Json.to_string_pretty json);
-  close_out oc;
+  (* Same JSONL emitter as --metrics/--trace: one compact object per line,
+     so the CI artifact is parseable alongside the observability dumps. *)
+  Obs.Sink.with_file out (fun sink -> Obs.Sink.emit sink json);
   Printf.printf "\nwrote %s\n" out
 
 open Cmdliner

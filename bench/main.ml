@@ -783,19 +783,21 @@ let e18 () =
   let module R1 = Sim.Engine.Make (R1_app) in
   let module R2 = Sim.Engine.Make (R2_app) in
   let none ~pid:_ actions = actions in
-  row ~n:4 ~f:1 ~label:"honest sender" ~corrupt:none ~byzantine:[] R1.run_corrupted;
+  let r1 ~corrupt cfg = R1.run_corrupted ~corrupt cfg in
+  let r2 ~corrupt cfg = R2.run_corrupted ~corrupt cfg in
+  row ~n:4 ~f:1 ~label:"honest sender" ~corrupt:none ~byzantine:[] r1;
   row ~n:4 ~f:1 ~label:"equivocating sender"
     ~corrupt:(RBC.corrupt_set (RBC.equivocate ~n:4) [ 0 ])
-    ~byzantine:[ 0 ] R1.run_corrupted;
+    ~byzantine:[ 0 ] r1;
   row ~n:4 ~f:1 ~label:"poisoning member"
     ~corrupt:(RBC.corrupt_set RBC.poison [ 2 ])
-    ~byzantine:[ 2 ] R1.run_corrupted;
+    ~byzantine:[ 2 ] r1;
   row ~n:7 ~f:2 ~label:"equivocation + poison"
     ~corrupt:(fun ~pid actions ->
       if pid = 0 then RBC.equivocate ~n:7 ~pid actions
       else if pid = 5 then RBC.poison ~pid actions
       else actions)
-    ~byzantine:[ 0; 5 ] R2.run_corrupted;
+    ~byzantine:[ 0; 5 ] r2;
   Format.printf
     "paper context (refs [3], [4]): the asynchronous Byzantine-resilient toolkit is \
      built on this primitive — with n > 3f, correct processes never deliver different \

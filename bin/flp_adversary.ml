@@ -16,7 +16,7 @@ let parse_inputs s n =
              Flp.Value.of_int (Char.code s.[i] - Char.code '0')))
     with Invalid_argument _ -> None
 
-let run name inputs_str stages max_configs verbose =
+let run name inputs_str stages max_configs verbose obs =
   match Flp.Zoo.find name with
   | None ->
       Format.eprintf "unknown protocol %S (see flp_check --list)@." name;
@@ -34,7 +34,7 @@ let run name inputs_str stages max_configs verbose =
       Format.printf "== Theorem 1 adversary on %s, inputs %s, %d stages ==@.@." P.name
         inputs_str stages;
       (try
-         let run = A.Adversary.run ~max_configs ~stages inputs in
+         let run = A.Adversary.run ~obs ~max_configs ~stages inputs in
          List.iteri
            (fun i (s : A.Adversary.stage) ->
              if verbose then begin
@@ -79,9 +79,29 @@ let max_configs_arg =
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full stage schedules.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write adversary/explorer metrics as JSON Lines to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write stage transition events (one JSON object per line) to $(docv).")
+
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
+
 let cmd =
+  let main name inputs stages max_configs verbose metrics_file trace_file timings =
+    Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
+        run name inputs stages max_configs verbose obs)
+  in
   Cmd.v
     (Cmd.info "flp_adversary" ~doc:"Construct the FLP non-deciding run stage by stage")
-    Term.(const run $ protocol_arg $ inputs_arg $ stages_arg $ max_configs_arg $ verbose_arg)
+    Term.(
+      const main $ protocol_arg $ inputs_arg $ stages_arg $ max_configs_arg $ verbose_arg
+      $ metrics_arg $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -12,7 +12,7 @@ let list_protocols () =
 let pp_inputs ppf inputs =
   Array.iter (fun v -> Format.fprintf ppf "%a" Flp.Value.pp v) inputs
 
-let run_checks name max_configs trials jobs dot_file =
+let run_checks name max_configs trials jobs dot_file obs =
   match Flp.Zoo.find name with
   | None ->
       Format.eprintf "unknown protocol %S; try --list@." name;
@@ -28,7 +28,7 @@ let run_checks name max_configs trials jobs dot_file =
       (* optional GraphViz export of the mixed-input configuration graph *)
       (match dot_file with
       | Some path ->
-          let g = A.Explore.explore ~jobs ~max_configs (A.C.initial mixed) in
+          let g = A.Explore.explore ~jobs ~obs ~max_configs (A.C.initial mixed) in
           let valences =
             if A.Explore.complete g then Some (A.Valency.classify g) else None
           in
@@ -49,11 +49,11 @@ let run_checks name max_configs trials jobs dot_file =
           match cls.valence with
           | Some v -> Format.printf "  inputs %a: %a@." pp_inputs cls.inputs A.Valency.pp_valence v
           | None -> Format.printf "  inputs %a: state space overflow@." pp_inputs cls.inputs)
-        (A.Lemma.check_lemma2 ~jobs ~max_configs ());
+        (A.Lemma.check_lemma2 ~jobs ~obs ~max_configs ());
       (* Lemma 3 on the mixed-input run, when it is bivalent *)
-      (match A.Valency.of_initial ~jobs ~max_configs mixed with
+      (match A.Valency.of_initial ~jobs ~obs ~max_configs mixed with
       | A.Valency.Bivalent ->
-          let s = A.Lemma.check_lemma3 ~jobs ~max_configs mixed in
+          let s = A.Lemma.check_lemma3 ~jobs ~obs ~max_configs mixed in
           Format.printf
             "@.Lemma 3 from inputs %a: %d bivalent configurations, %d/%d (config, event) \
              pairs keep a bivalent successor set D@."
@@ -64,7 +64,7 @@ let run_checks name max_configs trials jobs dot_file =
                protocol stops being totally correct)@."
       | _ -> Format.printf "@.Lemma 3 skipped: inputs %a are not bivalent@." pp_inputs mixed);
       (* trichotomy *)
-      let v = A.Lemma.classify ~jobs ~max_configs () in
+      let v = A.Lemma.classify ~jobs ~obs ~max_configs () in
       Format.printf "@.Impossibility trichotomy:@.";
       Format.printf "  partially correct:          %b@." v.partially_correct;
       (match v.correctness_detail.conflict_witness with
@@ -120,18 +120,35 @@ let dot_arg =
   Arg.(value & opt (some string) None
        & info [ "dot" ] ~docv:"FILE" ~doc:"Write the configuration graph as GraphViz.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write explorer/pool metrics as JSON Lines to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a span/event trace (one JSON object per line) to $(docv).")
+
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
+
 let cmd =
-  let run list name max_configs trials jobs dot_file =
+  let run list name max_configs trials jobs dot_file metrics_file trace_file timings =
     if jobs < 1 then begin
       Format.eprintf "flp_check: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
     end;
-    if list then list_protocols () else run_checks name max_configs trials jobs dot_file
+    if list then list_protocols ()
+    else
+      Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
+          run_checks name max_configs trials jobs dot_file obs)
   in
   Cmd.v
     (Cmd.info "flp_check" ~doc:"Exhaustively check the FLP lemmas on a finite protocol")
     Term.(
       const run $ list_arg $ protocol_arg $ max_configs_arg $ trials_arg $ jobs_arg
-      $ dot_arg)
+      $ dot_arg $ metrics_arg $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

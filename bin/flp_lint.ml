@@ -51,7 +51,8 @@ let resolve_rules names =
       in
       go [] names
 
-let run list list_rules_flag protocols rules max_configs seed trials jobs json =
+let run list list_rules_flag protocols rules max_configs seed trials jobs json metrics_file
+    trace_file timings =
   if list then list_protocols ()
   else if list_rules_flag then list_rules ()
   else if max_configs < 1 then begin
@@ -68,24 +69,34 @@ let run list list_rules_flag protocols rules max_configs seed trials jobs json =
         Format.eprintf "flp_lint: %s@." msg;
         exit 2
     | Ok protocols, Ok rules ->
-        let opts =
-          {
-            Lint.Runner.rules;
-            rule_opts = { Lint.Rules.default_opts with max_configs; seed; trials };
-          }
+        (* The exit code is computed inside [with_reporting] but the process
+           only exits after it returns, so the metrics file and the timing
+           table are flushed before termination. *)
+        let code =
+          Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
+              let opts =
+                {
+                  Lint.Runner.rules;
+                  rule_opts = { Lint.Rules.default_opts with max_configs; seed; trials };
+                }
+              in
+              let reports = Lint.Runner.lint_many ~obs ~opts ~jobs protocols in
+              if json then
+                print_string (Lint.Json.to_string_pretty (Lint.Report.batch_to_json reports))
+              else begin
+                List.iter (fun r -> Format.printf "%a@.@." Lint.Report.pp r) reports;
+                let findings =
+                  List.fold_left
+                    (fun acc (r : Lint.Report.t) -> acc + List.length r.findings)
+                    0 reports
+                in
+                Format.printf "%d protocols audited, %d findings, %d errors@."
+                  (List.length reports) findings
+                  (Lint.Report.total_errors reports)
+              end;
+              Lint.Runner.exit_code reports)
         in
-        let reports = Lint.Runner.lint_many ~opts ~jobs protocols in
-        if json then print_string (Lint.Json.to_string_pretty (Lint.Report.batch_to_json reports))
-        else begin
-          List.iter (fun r -> Format.printf "%a@.@." Lint.Report.pp r) reports;
-          let findings =
-            List.fold_left (fun acc (r : Lint.Report.t) -> acc + List.length r.findings) 0 reports
-          in
-          Format.printf "%d protocols audited, %d findings, %d errors@." (List.length reports)
-            findings
-            (Lint.Report.total_errors reports)
-        end;
-        exit (Lint.Runner.exit_code reports)
+        exit code
 
 open Cmdliner
 
@@ -124,11 +135,28 @@ let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available protocol
 let list_rules_arg =
   Arg.(value & flag & info [ "list-rules" ] ~doc:"List the rule catalogue and exit.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write per-rule timers and finding counts as JSON Lines to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a span trace (one JSON object per line) to $(docv).")
+
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ]
+           ~doc:"Print a per-rule wall-time table to stderr (safe with --json: the \
+                 report stays on stdout).")
+
 let cmd =
   Cmd.v
     (Cmd.info "flp_lint" ~doc:"Audit protocols against the FLP \xc2\xa72 model axioms")
     Term.(
       const run $ list_arg $ list_rules_arg $ protocols_arg $ rules_arg $ max_configs_arg
-      $ seed_arg $ trials_arg $ jobs_arg $ json_arg)
+      $ seed_arg $ trials_arg $ jobs_arg $ json_arg $ metrics_arg $ trace_arg
+      $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -103,10 +103,12 @@ module Make (P : Protocol.S) = struct
        with it every graph ID, the [succs] ordering, the [parents] witnesses,
        and the truncation point at [max_configs] — is bit-identical to
        {!explore_sequential}. *)
-    let explore_frontier ~filter ~jobs ~max_configs g =
-      Parallel.Pool.with_pool ~jobs (fun pool ->
+    let explore_frontier ?pool_metrics ?wave_hook ~filter ~jobs ~max_configs g =
+      Parallel.Pool.with_pool ?metrics:pool_metrics ~jobs (fun pool ->
           let frontier = ref [ 0 ] in
+          let wave = ref 0 in
           while !frontier <> [] do
+            let w0 = if wave_hook = None then 0.0 else Obs.Clock.now () in
             let batch = Array.of_list !frontier in
             let cfgs = Array.map (fun u -> g.configs.(u)) batch in
             let expansions =
@@ -118,6 +120,9 @@ module Make (P : Protocol.S) = struct
                 cfgs
             in
             let next = ref [] in
+            let interned = ref 0 in
+            let dups = ref 0 in
+            let truncated = ref 0 in
             Array.iteri
               (fun i u ->
                 let out = ref [] in
@@ -126,14 +131,19 @@ module Make (P : Protocol.S) = struct
                     match Tbl.find_opt g.ids cfg' with
                     | Some v ->
                         out := (e, v) :: !out;
-                        g.edges <- g.edges + 1
+                        g.edges <- g.edges + 1;
+                        incr dups
                     | None ->
-                        if g.count >= max_configs then g.complete_flag <- false
+                        if g.count >= max_configs then begin
+                          g.complete_flag <- false;
+                          incr truncated
+                        end
                         else begin
                           match intern g cfg' ~parent:(u, Some e) with
                           | Some v ->
                               out := (e, v) :: !out;
                               g.edges <- g.edges + 1;
+                              incr interned;
                               next := v :: !next
                           | None -> ()
                         end)
@@ -141,16 +151,74 @@ module Make (P : Protocol.S) = struct
                 g.succs.(u) <- List.rev !out;
                 Bytes.set g.expanded_flags u '\001')
               batch;
+            (match wave_hook with
+            | None -> ()
+            | Some hook ->
+                hook ~wave:!wave ~frontier:(Array.length batch) ~interned:!interned
+                  ~dups:!dups ~truncated:!truncated
+                  ~seconds:(Obs.Clock.elapsed w0));
+            incr wave;
             frontier := List.rev !next
           done)
 
-    let explore ?(filter = fun _ -> true) ?(jobs = 1) ~max_configs root_cfg =
+    let explore ?(filter = fun _ -> true) ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs
+        root_cfg =
       if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
       if jobs < 1 then invalid_arg "Explore.explore: jobs must be >= 1";
       let g = make_graph root_cfg in
       ignore (intern g root_cfg ~parent:(-1, None));
-      if jobs = 1 then explore_sequential ~filter ~max_configs g
-      else explore_frontier ~filter ~jobs ~max_configs g;
+      if not (Obs.enabled obs) then begin
+        if jobs = 1 then explore_sequential ~filter ~max_configs g
+        else explore_frontier ~filter ~jobs ~max_configs g
+      end
+      else begin
+        (* Instrumented exploration always takes the frontier path — even at
+           [jobs:1] — so the per-wave records exist at every jobs level and,
+           because the frontier explorer is bit-identical to the sequential
+           one, every structural metric (waves, configs, edges, dedup hits,
+           truncation) is deterministic across jobs values. *)
+        let m = obs.Obs.metrics in
+        let c_waves = Obs.Metrics.counter m "explore.waves" in
+        let c_configs = Obs.Metrics.counter m "explore.configs" in
+        let c_edges = Obs.Metrics.counter m "explore.edges" in
+        let c_dups = Obs.Metrics.counter m "explore.dedup_hits" in
+        let c_trunc = Obs.Metrics.counter m "explore.truncated" in
+        let h_wave =
+          Obs.Metrics.histogram m "explore.wave_size" ~lo:0.0 ~hi:100_000.0 ~bins:50
+        in
+        let t_explore = Obs.Metrics.timer m "explore.time" in
+        let rate = Obs.Metrics.fgauge m "explore.configs_per_sec" in
+        let trace = obs.Obs.trace in
+        let wave_hook ~wave ~frontier ~interned ~dups ~truncated ~seconds =
+          Obs.Metrics.incr c_waves 1;
+          Obs.Metrics.incr c_configs interned;
+          Obs.Metrics.incr c_dups dups;
+          Obs.Metrics.incr c_trunc truncated;
+          Obs.Metrics.observe h_wave (float_of_int frontier);
+          Obs.Span.event trace "explore.wave"
+            ~attrs:
+              [
+                ("wave", Flp_json.Int wave);
+                ("frontier", Flp_json.Int frontier);
+                ("interned", Flp_json.Int interned);
+                ("dedup_hits", Flp_json.Int dups);
+                ("truncated", Flp_json.Int truncated);
+                ("dur_s", Flp_json.Float seconds);
+              ]
+        in
+        Obs.Metrics.incr c_configs 1;
+        (* the root, interned before the first wave *)
+        let t0 = Obs.Clock.now () in
+        Obs.Span.span trace "explore"
+          ~attrs:
+            [ ("jobs", Flp_json.Int jobs); ("max_configs", Flp_json.Int max_configs) ]
+          (fun () -> explore_frontier ~pool_metrics:m ~wave_hook ~filter ~jobs ~max_configs g);
+        let dur = Obs.Clock.elapsed t0 in
+        Obs.Metrics.add_seconds t_explore dur;
+        Obs.Metrics.incr c_edges g.edges;
+        if dur > 0.0 then
+          Obs.Metrics.fgauge_set rate (float_of_int g.count /. dur)
+      end;
       g
 
     let complete g = g.complete_flag
@@ -232,8 +300,8 @@ module Make (P : Protocol.S) = struct
           | _ -> Bivalent)
         masks
 
-    let of_initial ?(jobs = 1) ~max_configs inputs =
-      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
+    let of_initial ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs inputs =
+      let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
       (classify g).(0)
   end
 
@@ -326,23 +394,23 @@ module Make (P : Protocol.S) = struct
           Array.init P.n (fun pid ->
               if bits land (1 lsl pid) <> 0 then Value.One else Value.Zero))
 
-    let check_lemma2 ?(jobs = 1) ~max_configs () =
+    let check_lemma2 ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
       List.map
         (fun inputs ->
           let valence =
-            try Some (Valency.of_initial ~jobs ~max_configs inputs)
+            try Some (Valency.of_initial ~jobs ~obs ~max_configs inputs)
             with Valency.Incomplete -> None
           in
           { inputs; valence })
         (all_inputs ())
 
-    let bivalent_initials ?(jobs = 1) ~max_configs () =
-      check_lemma2 ~jobs ~max_configs ()
+    let bivalent_initials ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
+      check_lemma2 ~jobs ~obs ~max_configs ()
       |> List.filter_map (fun cls ->
              match cls.valence with Some Valency.Bivalent -> Some cls.inputs | _ -> None)
 
-    let adjacent_opposite_pairs ?(jobs = 1) ~max_configs () =
-      let classes = check_lemma2 ~jobs ~max_configs () in
+    let adjacent_opposite_pairs ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
+      let classes = check_lemma2 ~jobs ~obs ~max_configs () in
       let valence_of inputs =
         List.find_map
           (fun cls -> if cls.inputs = inputs then cls.valence else None)
@@ -404,8 +472,9 @@ module Make (P : Protocol.S) = struct
       done;
       !found
 
-    let check_lemma3 ?(max_pairs = max_int) ?(jobs = 1) ~max_configs inputs =
-      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
+    let check_lemma3 ?(max_pairs = max_int) ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs
+        inputs =
+      let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       let bivalent_ids =
         List.filter
@@ -463,8 +532,9 @@ module Make (P : Protocol.S) = struct
       done;
       !members
 
-    let lemma3_case_analysis ?(max_pairs = max_int) ?(jobs = 1) ~max_configs inputs =
-      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
+    let lemma3_case_analysis ?(max_pairs = max_int) ?(jobs = 1) ?(obs = Obs.disabled)
+        ~max_configs inputs =
+      let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       let bivalent_ids =
         List.filter
@@ -545,13 +615,13 @@ module Make (P : Protocol.S) = struct
       exhaustive : bool;
     }
 
-    let check_partial_correctness ?(jobs = 1) ~max_configs () =
+    let check_partial_correctness ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
       let conflict = ref None in
       let values = ref [] in
       let exhaustive = ref true in
       List.iter
         (fun inputs ->
-          let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
+          let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
           if not (Explore.complete g) then exhaustive := false;
           for id = 0 to Explore.size g - 1 do
             let dv = C.decision_values (Explore.config g id) in
@@ -567,11 +637,11 @@ module Make (P : Protocol.S) = struct
         exhaustive = !exhaustive;
       }
 
-    let find_blocking_run ?(jobs = 1) ~max_configs ~faulty inputs =
+    let find_blocking_run ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs ~faulty inputs =
       let g =
         Explore.explore
           ~filter:(fun (e : C.event) -> e.dest <> faulty)
-          ~jobs ~max_configs (C.initial inputs)
+          ~jobs ~obs ~max_configs (C.initial inputs)
       in
       let n = Explore.size g in
       (* Backward reachability from decision-bearing configurations. *)
@@ -676,13 +746,14 @@ module Make (P : Protocol.S) = struct
       done;
       !components
 
-    let find_fair_nondeciding_cycle ?(jobs = 1) ~max_configs ~faulty inputs =
+    let find_fair_nondeciding_cycle ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs ~faulty
+        inputs =
       let filter =
         match faulty with
         | Some p -> fun (e : C.event) -> e.dest <> p
         | None -> fun _ -> true
       in
-      let g = Explore.explore ~filter ~jobs ~max_configs (C.initial inputs) in
+      let g = Explore.explore ~filter ~jobs ~obs ~max_configs (C.initial inputs) in
       let n = Explore.size g in
       let undecided =
         Array.init n (fun id -> C.decision_values (Explore.config g id) = [])
@@ -742,19 +813,19 @@ module Make (P : Protocol.S) = struct
       fair_cycle : (int option * Value.t array * C.event list) option;
     }
 
-    let classify ?(jobs = 1) ~max_configs () =
-      let detail = check_partial_correctness ~jobs ~max_configs () in
+    let classify ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
+      let detail = check_partial_correctness ~jobs ~obs ~max_configs () in
       let partially_correct =
         detail.no_conflicting_decisions
         && List.length detail.reachable_decision_values = 2
       in
-      let has_bivalent_initial = bivalent_initials ~jobs ~max_configs () <> [] in
+      let has_bivalent_initial = bivalent_initials ~jobs ~obs ~max_configs () <> [] in
       let blocking = ref None in
       (try
          List.iter
            (fun inputs ->
              for faulty = 0 to P.n - 1 do
-               match find_blocking_run ~jobs ~max_configs ~faulty inputs with
+               match find_blocking_run ~jobs ~obs ~max_configs ~faulty inputs with
                | `Blocking_witness schedule ->
                    blocking := Some (faulty, inputs, schedule);
                    raise Exit
@@ -768,7 +839,7 @@ module Make (P : Protocol.S) = struct
            (fun inputs ->
              List.iter
                (fun faulty ->
-                 match find_fair_nondeciding_cycle ~jobs ~max_configs ~faulty inputs with
+                 match find_fair_nondeciding_cycle ~jobs ~obs ~max_configs ~faulty inputs with
                  | `Fair_cycle schedule ->
                      fair_cycle := Some (faulty, inputs, schedule);
                      raise Exit
@@ -842,8 +913,12 @@ module Make (P : Protocol.S) = struct
           then rest
           else (dest, msg) :: remove_pending e rest
 
-    let run ?(jobs = 1) ~max_configs ~stages inputs =
-      let g = Explore.explore ~jobs ~max_configs (C.initial inputs) in
+    let run ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs ~stages inputs =
+      let trace = obs.Obs.trace in
+      let c_stages = Obs.Metrics.counter obs.Obs.metrics "adversary.stages" in
+      let c_steps = Obs.Metrics.counter obs.Obs.metrics "adversary.steps" in
+      let t_stage = Obs.Metrics.timer obs.Obs.metrics "adversary.stage_time" in
+      let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
       let valences = Valency.classify g in
       if not (Valency.equal_valence valences.(0) Valency.Bivalent) then
         invalid_arg "Adversary.run: initial configuration is not bivalent";
@@ -856,43 +931,66 @@ module Make (P : Protocol.S) = struct
       let outcome = ref Completed in
       (try
          for stage_no = 1 to stages do
-           let p, rest =
-             match !queue with [] -> assert false | p :: rest -> (p, rest)
-           in
-           let forced =
-             match List.find_opt (fun (dest, _) -> dest = p) !pending with
-             | Some (_, msg) -> C.deliver p msg
-             | None -> C.null_event p
-           in
-           match find_stage_schedule g valences !current_id forced with
-           | None ->
-               outcome :=
-                 Stuck
-                   {
-                     stage = stage_no;
-                     reason =
-                       Format.asprintf
-                         "no schedule ending with %a reaches a bivalent configuration \
-                          (Lemma 3 hypothesis fails: protocol is not totally correct here)"
-                         C.pp_event forced;
-                   };
-               raise Exit
-           | Some prefix ->
-               let schedule = prefix @ [ forced ] in
-               List.iter
-                 (fun (e : C.event) ->
-                   let cfg', sends = C.apply_with_sends !current_cfg e in
-                   if e.msg <> None then pending := remove_pending e !pending;
-                   pending := !pending @ sends;
-                   current_cfg := cfg';
-                   incr steps)
-                 schedule;
-               (match Explore.id_of g !current_cfg with
-               | Some id -> current_id := id
-               | None -> assert false);
-               assert (Valency.equal_valence valences.(!current_id) Valency.Bivalent);
-               done_stages := { process = p; forced_event = forced; schedule } :: !done_stages;
-               queue := rest @ [ p ]
+           Obs.Metrics.time t_stage (fun () ->
+               let p, rest =
+                 match !queue with [] -> assert false | p :: rest -> (p, rest)
+               in
+               let forced =
+                 match List.find_opt (fun (dest, _) -> dest = p) !pending with
+                 | Some (_, msg) -> C.deliver p msg
+                 | None -> C.null_event p
+               in
+               match find_stage_schedule g valences !current_id forced with
+               | None ->
+                   outcome :=
+                     Stuck
+                       {
+                         stage = stage_no;
+                         reason =
+                           Format.asprintf
+                             "no schedule ending with %a reaches a bivalent configuration \
+                              (Lemma 3 hypothesis fails: protocol is not totally correct \
+                              here)"
+                             C.pp_event forced;
+                       };
+                   if Obs.Span.enabled trace then
+                     Obs.Span.event trace "adversary.stuck"
+                       ~attrs:
+                         [
+                           ("stage", Flp_json.Int stage_no);
+                           ("process", Flp_json.Int p);
+                           ("forced", Flp_json.Str (Format.asprintf "%a" C.pp_event forced));
+                         ];
+                   raise Exit
+               | Some prefix ->
+                   let schedule = prefix @ [ forced ] in
+                   List.iter
+                     (fun (e : C.event) ->
+                       let cfg', sends = C.apply_with_sends !current_cfg e in
+                       if e.msg <> None then pending := remove_pending e !pending;
+                       pending := !pending @ sends;
+                       current_cfg := cfg';
+                       incr steps)
+                     schedule;
+                   (match Explore.id_of g !current_cfg with
+                   | Some id -> current_id := id
+                   | None -> assert false);
+                   assert (Valency.equal_valence valences.(!current_id) Valency.Bivalent);
+                   done_stages :=
+                     { process = p; forced_event = forced; schedule } :: !done_stages;
+                   queue := rest @ [ p ];
+                   Obs.Metrics.incr c_stages 1;
+                   Obs.Metrics.incr c_steps (List.length schedule);
+                   if Obs.Span.enabled trace then
+                     Obs.Span.event trace "adversary.stage"
+                       ~attrs:
+                         [
+                           ("stage", Flp_json.Int stage_no);
+                           ("process", Flp_json.Int p);
+                           ("forced", Flp_json.Str (Format.asprintf "%a" C.pp_event forced));
+                           ("schedule_len", Flp_json.Int (List.length schedule));
+                           ("bivalent_witness", Flp_json.Int !current_id);
+                         ])
          done
        with Exit -> ());
       { stages = List.rev !done_stages; steps = !steps; outcome = !outcome }

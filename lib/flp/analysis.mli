@@ -30,7 +30,12 @@ module Make (P : Protocol.S) : sig
     (** Reachable configuration graph from a root, possibly truncated. *)
 
     val explore :
-      ?filter:(C.event -> bool) -> ?jobs:int -> max_configs:int -> C.t -> graph
+      ?filter:(C.event -> bool) ->
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      max_configs:int ->
+      C.t ->
+      graph
     (** BFS over configurations.  [filter] restricts which events may be
         applied (used to exclude a process, or a specific event for the
         Lemma 3 set [%C]).  Exploration stops interning new configurations
@@ -43,7 +48,18 @@ module Make (P : Protocol.S) : sig
         every [jobs] value — IDs, successor-list order, parent witnesses and
         the truncation point all match the sequential explorer — so [jobs]
         is purely a throughput knob.  [jobs:1] runs the plain sequential
-        code path.  Raises [Invalid_argument] when [jobs < 1]. *)
+        code path.  Raises [Invalid_argument] when [jobs < 1].
+
+        [obs] (default {!Obs.disabled}) instruments the exploration: counters
+        [explore.waves]/[explore.configs]/[explore.edges]/[explore.dedup_hits]/
+        [explore.truncated], the per-wave frontier-size histogram
+        [explore.wave_size], the [explore.time] timer, the derived
+        [explore.configs_per_sec] gauge, plus the pool's [pool.*] metrics,
+        and — when tracing — an [explore] span with one [explore.wave] event
+        per BFS wave.  An enabled [obs] routes even [jobs:1] through the
+        frontier explorer so wave records exist at every jobs level and all
+        structural metrics are identical across jobs values; the disabled
+        default keeps the uninstrumented code paths. *)
 
     val complete : graph -> bool
 
@@ -89,7 +105,7 @@ module Make (P : Protocol.S) : sig
     (** Valence of every configuration, by fixpoint propagation of reachable
         decision values.  Requires a complete graph. *)
 
-    val of_initial : ?jobs:int -> max_configs:int -> Value.t array -> valence
+    val of_initial : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> Value.t array -> valence
     (** Convenience: explore from the given initial configuration and return
         its valence.  [jobs] is forwarded to {!Explore.explore}. *)
   end
@@ -128,14 +144,20 @@ module Make (P : Protocol.S) : sig
       valence : Valency.valence option;  (** [None] if exploration overflowed *)
     }
 
-    val check_lemma2 : ?jobs:int -> max_configs:int -> unit -> initial_class list
-    (** Classify all [2^n] initial configurations.  [jobs] is forwarded to
-        every underlying exploration (here and in every checker below). *)
+    val check_lemma2 : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> initial_class list
+    (** Classify all [2^n] initial configurations.  [jobs] and [obs] are
+        forwarded to every underlying exploration (here and in every checker
+        below). *)
 
-    val bivalent_initials : ?jobs:int -> max_configs:int -> unit -> Value.t array list
+    val bivalent_initials :
+      ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> Value.t array list
 
     val adjacent_opposite_pairs :
-      ?jobs:int -> max_configs:int -> unit -> (Value.t array * Value.t array * int) list
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      max_configs:int ->
+      unit ->
+      (Value.t array * Value.t array * int) list
     (** The chain argument inside Lemma 2's proof: pairs of {e adjacent}
         initial configurations (differing in exactly one process's input)
         with opposite univalences, as [(inputs0, inputs1, pid)].  When a
@@ -155,7 +177,12 @@ module Make (P : Protocol.S) : sig
     }
 
     val check_lemma3 :
-      ?max_pairs:int -> ?jobs:int -> max_configs:int -> Value.t array -> lemma3_stats
+      ?max_pairs:int ->
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      max_configs:int ->
+      Value.t array ->
+      lemma3_stats
     (** For each reachable bivalent configuration [C] of the run from the
         given inputs and each applicable event [e], check that
         [D = e(%C)] contains a bivalent configuration, where [%C] is the set
@@ -176,7 +203,12 @@ module Make (P : Protocol.S) : sig
     }
 
     val lemma3_case_analysis :
-      ?max_pairs:int -> ?jobs:int -> max_configs:int -> Value.t array -> lemma3_cases
+      ?max_pairs:int ->
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      max_configs:int ->
+      Value.t array ->
+      lemma3_cases
     (** Figures 2 and 3, executably: wherever Lemma 3's conclusion fails
         (which for a totally correct protocol is everywhere the proof derives
         its contradiction), find the neighboring configurations with
@@ -199,10 +231,12 @@ module Make (P : Protocol.S) : sig
               which case a clean bill of health is only partial *)
     }
 
-    val check_partial_correctness : ?jobs:int -> max_configs:int -> unit -> correctness
+    val check_partial_correctness :
+      ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> correctness
 
     val find_blocking_run :
       ?jobs:int ->
+      ?obs:Obs.t ->
       max_configs:int ->
       faulty:int ->
       Value.t array ->
@@ -214,6 +248,7 @@ module Make (P : Protocol.S) : sig
 
     val find_fair_nondeciding_cycle :
       ?jobs:int ->
+      ?obs:Obs.t ->
       max_configs:int ->
       faulty:int option ->
       Value.t array ->
@@ -244,7 +279,7 @@ module Make (P : Protocol.S) : sig
               fair non-deciding cycle, when one was found *)
     }
 
-    val classify : ?jobs:int -> max_configs:int -> unit -> verdict
+    val classify : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> verdict
     (** Theorem 1 in executable form: every protocol must fail partial
         correctness or admit a non-deciding admissible run — which for a
         finite protocol is either a {e blocking} run (some reachable
@@ -279,9 +314,15 @@ module Make (P : Protocol.S) : sig
       outcome : outcome;
     }
 
-    val run : ?jobs:int -> max_configs:int -> stages:int -> Value.t array -> run
+    val run : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> stages:int -> Value.t array -> run
     (** Raises [Invalid_argument] if the initial configuration for [inputs]
         is not bivalent, and {!Valency.Incomplete} if the state space
-        overflows [max_configs]. *)
+        overflows [max_configs].
+
+        [obs] records [adversary.stages] / [adversary.steps] counters and the
+        per-stage [adversary.stage_time] timer, and emits one
+        [adversary.stage] trace event per completed stage (carrying the
+        forced event and the bivalent witness id) plus an [adversary.stuck]
+        event when no bivalence-preserving continuation exists. *)
   end
 end

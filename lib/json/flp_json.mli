@@ -1,0 +1,34 @@
+(** A minimal JSON tree, serialiser, and parser shared by the emitters.
+
+    The lint reports, the observability sinks ([lib/obs]) and the benchmark
+    artifacts all emit small, flat JSON documents, so this avoids dragging in
+    an external JSON dependency: constructors for the shapes we emit, a
+    compact serialiser (one line — the JSONL record format), an indented one
+    for human eyes, and a parser so tests can round-trip emitted output.
+    Strings are escaped per RFC 8259 (control characters, quotes,
+    backslashes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering — one call per JSONL record. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, trailing newline. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] for any
+    other constructor or a missing key. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (the whole string; trailing whitespace allowed).
+    Numbers without [.]/[e] parse as {!Int}, everything else as {!Float}.
+    [\u] escapes decode to UTF-8; lone surrogates degrade to U+FFFD.  Errors
+    carry the byte offset of the failure. *)

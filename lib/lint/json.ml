@@ -1,81 +1,5 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
+(* The JSON tree moved to the shared [flp_json] library (lib/json) so the
+   observability layer and the benches can emit through the same code; this
+   module survives as a re-export so [Lint.Json] keeps working. *)
 
-let add_escaped buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-(* [indent < 0] means compact; otherwise the current indentation depth. *)
-let rec render buf ~indent t =
-  let pretty = indent >= 0 in
-  let pad depth = if pretty then Buffer.add_string buf (String.make (2 * depth) ' ') in
-  let sep_nl () = if pretty then Buffer.add_char buf '\n' in
-  let items ~open_c ~close_c render_item = function
-    | [] ->
-        Buffer.add_char buf open_c;
-        Buffer.add_char buf close_c
-    | xs ->
-        Buffer.add_char buf open_c;
-        sep_nl ();
-        List.iteri
-          (fun i x ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              sep_nl ()
-            end;
-            pad (indent + 1);
-            render_item x)
-          xs;
-        sep_nl ();
-        pad indent;
-        Buffer.add_char buf close_c
-  in
-  match t with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      (* JSON has no nan/infinity literals; those degrade to null *)
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
-      else Buffer.add_string buf "null"
-  | Str s -> add_escaped buf s
-  | List xs ->
-      items ~open_c:'[' ~close_c:']'
-        (fun x -> render buf ~indent:(if pretty then indent + 1 else indent) x)
-        xs
-  | Obj fields ->
-      items ~open_c:'{' ~close_c:'}'
-        (fun (k, v) ->
-          add_escaped buf k;
-          Buffer.add_string buf (if pretty then ": " else ":");
-          render buf ~indent:(if pretty then indent + 1 else indent) v)
-        fields
-
-let to_string t =
-  let buf = Buffer.create 256 in
-  render buf ~indent:(-1) t;
-  Buffer.contents buf
-
-let to_string_pretty t =
-  let buf = Buffer.create 1024 in
-  render buf ~indent:0 t;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
+include Flp_json

@@ -1,21 +1,9 @@
-(** A minimal JSON tree and serialiser.
+(** Compatibility re-export of the shared {!Flp_json} library.
 
-    The lint report format is small and flat, so this avoids dragging in an
-    external JSON dependency: constructors for the report shapes we emit, a
-    compact serialiser, and an indented one for human eyes.  Strings are
-    escaped per RFC 8259 (control characters, quotes, backslashes). *)
+    The JSON tree, serialisers, and parser live in [lib/json] (shared with
+    [lib/obs] and the benches); [Lint.Json.t] is an alias for {!Flp_json.t},
+    so values flow freely between the two names. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float  (** non-finite values render as [null] *)
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-
-val to_string : t -> string
-(** Compact, single-line rendering. *)
-
-val to_string_pretty : t -> string
-(** Two-space indented rendering, trailing newline. *)
+include module type of struct
+  include Flp_json
+end

@@ -14,14 +14,21 @@ type opts = {
 val default_opts : opts
 (** All of {!Rule.all} with {!Rules.default_opts}. *)
 
-val lint : ?opts:opts -> Flp.Protocol.t -> Report.t
+val lint : ?obs:Obs.t -> ?opts:opts -> Flp.Protocol.t -> Report.t
 (** Audit one packed protocol: walk its reachable configurations once, then
-    run every selected rule against the walk. *)
+    run every selected rule against the walk.
 
-val lint_many : ?opts:opts -> ?jobs:int -> Flp.Protocol.t list -> Report.t list
+    [obs] (default {!Obs.disabled}) records the [lint.walk] timer plus, per
+    rule, a [lint.rule.<name>] wall-time timer and a [lint.findings.<name>]
+    counter, and emits [lint.walk] / [lint.rule] spans when tracing. *)
+
+val lint_many :
+  ?obs:Obs.t -> ?opts:opts -> ?jobs:int -> Flp.Protocol.t list -> Report.t list
 (** Audit a batch.  [jobs] (default [1]) audits up to that many protocols
     concurrently on a domain pool; reports are returned in input order
-    either way, so the output is independent of [jobs]. *)
+    either way, so the output is independent of [jobs].  [obs] is threaded
+    into every audit; per-rule timers then aggregate across protocols, and
+    the pool contributes its [pool.*] metrics. *)
 
 val exit_code : Report.t list -> int
 (** [1] when any report carries an [Error]-severity finding, [0] otherwise. *)

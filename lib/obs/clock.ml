@@ -1,0 +1,19 @@
+(* Wall time clamped to be non-decreasing process-wide: a CAS loop over the
+   latest observed instant turns [gettimeofday] (which the system may step
+   backwards) into a monotonic clock, so span durations and timer deltas can
+   never go negative.  The atomic is only touched when instrumentation is
+   enabled, so the no-op observability path pays nothing here. *)
+
+let last = Atomic.make neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let elapsed since = now () -. since

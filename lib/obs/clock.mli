@@ -1,0 +1,14 @@
+(** A monotonic clock in seconds.
+
+    Successive calls to {!now} never decrease, across every domain in the
+    process: wall time is clamped through an atomic high-water mark, so timer
+    deltas and span durations are always non-negative even if the system
+    clock steps backwards. *)
+
+val now : unit -> float
+(** Current time in seconds.  Only the {e differences} between two values are
+    meaningful; the origin is the Unix epoch of the first uncorrected
+    reading. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)

@@ -1,0 +1,264 @@
+(* Lock-free recording: every mutable cell a hot path touches is either an
+   [Atomic.t] or a shard owned by exactly one worker, so domains record
+   without taking locks.  The registry mutex guards {e registration} only —
+   a cold path that runs once per metric name.
+
+   Disabled handles are empty arrays / [None]: recording through them is a
+   length check or a pattern match, which is what "zero-cost no-op mode"
+   means here — no clock reads, no allocation, no atomics. *)
+
+type counter = int Atomic.t array
+
+type gauge = int Atomic.t option
+
+type fgauge = float Atomic.t option
+
+type timer = { ns : int Atomic.t array; calls : int Atomic.t array }
+
+type histogram = Stats.Histogram.t array
+
+type kind =
+  | Counter of counter
+  | Gauge of int Atomic.t
+  | Fgauge of float Atomic.t
+  | Timer of timer
+  | Histogram of histogram
+
+type reg = { shards : int; lock : Mutex.t; mutable entries : (string * kind) list }
+
+type t = Disabled | Enabled of reg
+
+let disabled = Disabled
+
+let default_shards = 64
+
+let create ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Metrics.create: shards must be >= 1";
+  Enabled { shards; lock = Mutex.create (); entries = [] }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let no_counter : counter = [||]
+
+let no_timer : timer = { ns = [||]; calls = [||] }
+
+let no_histogram : histogram = [||]
+
+(* Register-or-find under the lock; two domains racing to register the same
+   name get the same cells.  Re-registering a name as a different kind is a
+   programming error and raises. *)
+let register reg name make select =
+  Mutex.lock reg.lock;
+  let kind =
+    match List.assoc_opt name reg.entries with
+    | Some k -> k
+    | None ->
+        let k = make () in
+        reg.entries <- (name, k) :: reg.entries;
+        k
+  in
+  Mutex.unlock reg.lock;
+  match select kind with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let shard_index len worker = if worker < len && worker >= 0 then worker else abs worker mod len
+
+let counter t name =
+  match t with
+  | Disabled -> no_counter
+  | Enabled reg ->
+      register reg name
+        (fun () -> Counter (Array.init reg.shards (fun _ -> Atomic.make 0)))
+        (function Counter c -> Some c | _ -> None)
+
+let incr ?(worker = 0) c n =
+  let len = Array.length c in
+  if len > 0 then ignore (Atomic.fetch_and_add c.(shard_index len worker) n)
+
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let gauge t name =
+  match t with
+  | Disabled -> None
+  | Enabled reg ->
+      register reg name
+        (fun () -> Gauge (Atomic.make 0))
+        (function Gauge g -> Some (Some g) | _ -> None)
+
+let gauge_set g v = match g with None -> () | Some a -> Atomic.set a v
+
+let gauge_max g v =
+  match g with
+  | None -> ()
+  | Some a ->
+      let rec lift () =
+        let cur = Atomic.get a in
+        if v > cur && not (Atomic.compare_and_set a cur v) then lift ()
+      in
+      lift ()
+
+let gauge_value g = match g with None -> 0 | Some a -> Atomic.get a
+
+let fgauge t name =
+  match t with
+  | Disabled -> None
+  | Enabled reg ->
+      register reg name
+        (fun () -> Fgauge (Atomic.make 0.0))
+        (function Fgauge g -> Some (Some g) | _ -> None)
+
+let fgauge_set g v = match g with None -> () | Some a -> Atomic.set a v
+
+let fgauge_value g = match g with None -> 0.0 | Some a -> Atomic.get a
+
+let timer t name =
+  match t with
+  | Disabled -> no_timer
+  | Enabled reg ->
+      register reg name
+        (fun () ->
+          Timer
+            {
+              ns = Array.init reg.shards (fun _ -> Atomic.make 0);
+              calls = Array.init reg.shards (fun _ -> Atomic.make 0);
+            })
+        (function Timer tm -> Some tm | _ -> None)
+
+let add_seconds ?(worker = 0) tm s =
+  let len = Array.length tm.ns in
+  if len > 0 then begin
+    let i = shard_index len worker in
+    ignore (Atomic.fetch_and_add tm.ns.(i) (int_of_float (s *. 1e9)));
+    ignore (Atomic.fetch_and_add tm.calls.(i) 1)
+  end
+
+let time ?worker tm f =
+  if Array.length tm.ns = 0 then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> add_seconds ?worker tm (Clock.elapsed t0)) f
+  end
+
+let timer_calls tm = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 tm.calls
+
+let timer_seconds tm =
+  float_of_int (Array.fold_left (fun acc a -> acc + Atomic.get a) 0 tm.ns) /. 1e9
+
+let histogram t name ~lo ~hi ~bins =
+  match t with
+  | Disabled -> no_histogram
+  | Enabled reg ->
+      register reg name
+        (fun () ->
+          Histogram (Array.init reg.shards (fun _ -> Stats.Histogram.create ~lo ~hi ~bins)))
+        (function Histogram h -> Some h | _ -> None)
+
+let observe ?(worker = 0) h x =
+  let len = Array.length h in
+  if len > 0 then Stats.Histogram.add h.(shard_index len worker) x
+
+let histogram_merged h =
+  match Array.to_list h with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left Stats.Histogram.merge first rest)
+
+(* Snapshots: copy the entry list under the lock, then read the atomics
+   outside it.  Sorted by name so the JSONL dump and the table are
+   deterministic regardless of registration order. *)
+let entries = function
+  | Disabled -> []
+  | Enabled reg ->
+      Mutex.lock reg.lock;
+      let es = reg.entries in
+      Mutex.unlock reg.lock;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) es
+
+let timer_workers tm =
+  let out = ref [] in
+  for i = Array.length tm.ns - 1 downto 0 do
+    let calls = Atomic.get tm.calls.(i) in
+    if calls > 0 then
+      out :=
+        Flp_json.Obj
+          [
+            ("worker", Flp_json.Int i);
+            ("calls", Flp_json.Int calls);
+            ("seconds", Flp_json.Float (float_of_int (Atomic.get tm.ns.(i)) /. 1e9));
+          ]
+        :: !out
+  done;
+  !out
+
+let histogram_bins_json merged =
+  let out = ref [] in
+  for i = Stats.Histogram.bins merged - 1 downto 0 do
+    let c = Stats.Histogram.bin_count merged i in
+    if c > 0 then begin
+      let lo, hi = Stats.Histogram.bin_bounds merged i in
+      out :=
+        Flp_json.Obj
+          [ ("lo", Flp_json.Float lo); ("hi", Flp_json.Float hi); ("count", Flp_json.Int c) ]
+        :: !out
+    end
+  done;
+  !out
+
+let kind_to_json name kind =
+  let base ty rest = Flp_json.Obj (("metric", Flp_json.Str name) :: ("type", Flp_json.Str ty) :: rest) in
+  match kind with
+  | Counter c -> base "counter" [ ("value", Flp_json.Int (counter_value c)) ]
+  | Gauge a -> base "gauge" [ ("value", Flp_json.Int (Atomic.get a)) ]
+  | Fgauge a -> base "fgauge" [ ("value", Flp_json.Float (Atomic.get a)) ]
+  | Timer tm ->
+      base "timer"
+        [
+          ("calls", Flp_json.Int (timer_calls tm));
+          ("seconds", Flp_json.Float (timer_seconds tm));
+          ("workers", Flp_json.List (timer_workers tm));
+        ]
+  | Histogram h -> (
+      match histogram_merged h with
+      | None -> base "histogram" [ ("count", Flp_json.Int 0); ("bins", Flp_json.List []) ]
+      | Some merged ->
+          base "histogram"
+            [
+              ("count", Flp_json.Int (Stats.Histogram.count merged));
+              ("bins", Flp_json.List (histogram_bins_json merged));
+            ])
+
+let to_json t = List.map (fun (name, kind) -> kind_to_json name kind) (entries t)
+
+let emit t sink = List.iter (Sink.emit sink) (to_json t)
+
+let pp ppf t =
+  match entries t with
+  | [] -> Format.fprintf ppf "(no metrics recorded)"
+  | es ->
+      let first = ref true in
+      let line fmt =
+        if !first then first := false else Format.pp_print_cut ppf ();
+        Format.fprintf ppf fmt
+      in
+      Format.pp_open_vbox ppf 0;
+      List.iter
+        (fun (name, kind) ->
+          match kind with
+          | Counter c -> line "%-36s %12d" name (counter_value c)
+          | Gauge a -> line "%-36s %12d  (gauge)" name (Atomic.get a)
+          | Fgauge a -> line "%-36s %12.1f  (gauge)" name (Atomic.get a)
+          | Timer tm ->
+              line "%-36s %12.6f s  over %d calls" name (timer_seconds tm) (timer_calls tm)
+          | Histogram h -> (
+              match histogram_merged h with
+              | None -> line "%-36s (empty histogram)" name
+              | Some m ->
+                  let mode = Stats.Histogram.mode_bin m in
+                  if mode < 0 then line "%-36s %12d samples" name 0
+                  else begin
+                    let lo, hi = Stats.Histogram.bin_bounds m mode in
+                    line "%-36s %12d samples, mode [%g, %g)" name
+                      (Stats.Histogram.count m) lo hi
+                  end))
+        es;
+      Format.pp_close_box ppf ()

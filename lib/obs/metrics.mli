@@ -1,0 +1,113 @@
+(** A registry of counters, gauges, timers, and histograms, recordable from
+    any domain without locks.
+
+    Every handle is sharded by a [?worker] index (clamped into the shard
+    count): counters and timers are arrays of [Atomic.t] cells, histograms
+    are per-shard {!Stats.Histogram.t}s merged at snapshot time with
+    {!Stats.Histogram.merge}.  Give each concurrent domain its own [worker]
+    index — the domain pool does — and recording never contends on a cell;
+    even when two domains share an index, counters and timers stay exact
+    (atomic read-modify-write), and only histogram increments can race.
+
+    {b No-op mode.}  Handles obtained from {!disabled} are empty: recording
+    through them is a bounds check and nothing else — no clock reads, no
+    allocation, no atomic traffic.  Code can therefore thread a [Metrics.t]
+    unconditionally and stay at full speed when observability is off.
+    Registration itself ({!counter} etc.) takes a mutex, so hoist handles
+    out of hot loops. *)
+
+type t
+
+val disabled : t
+(** The no-op registry: every handle it returns records nothing, and
+    {!to_json} is [[]]. *)
+
+val create : ?shards:int -> unit -> t
+(** A live registry.  [shards] (default 64) bounds the number of concurrent
+    workers that record without sharing cells; worker indices at or above it
+    wrap around.  Raises [Invalid_argument] when [shards < 1]. *)
+
+val enabled : t -> bool
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-register.  Raises [Invalid_argument] if the name is already
+    registered as a different kind. *)
+
+val incr : ?worker:int -> counter -> int -> unit
+
+val counter_value : counter -> int
+(** Sum over all shards (0 for a disabled handle). *)
+
+(** {2 Gauges} *)
+
+type gauge
+(** An integer level — e.g. a heap high-water mark. *)
+
+val gauge : t -> string -> gauge
+
+val gauge_set : gauge -> int -> unit
+
+val gauge_max : gauge -> int -> unit
+(** Lift the gauge to [v] if [v] is larger (atomic compare-and-set loop). *)
+
+val gauge_value : gauge -> int
+
+type fgauge
+(** A float level — e.g. a derived configs/sec rate. *)
+
+val fgauge : t -> string -> fgauge
+
+val fgauge_set : fgauge -> float -> unit
+
+val fgauge_value : fgauge -> float
+
+(** {2 Timers} *)
+
+type timer
+
+val timer : t -> string -> timer
+
+val add_seconds : ?worker:int -> timer -> float -> unit
+(** Accumulate an already-measured duration (one call, [s] seconds). *)
+
+val time : ?worker:int -> timer -> (unit -> 'a) -> 'a
+(** Run the thunk and accumulate its wall-clock duration; on a disabled
+    handle this is exactly the thunk — the clock is never read. *)
+
+val timer_calls : timer -> int
+
+val timer_seconds : timer -> float
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> lo:float -> hi:float -> bins:int -> histogram
+
+val observe : ?worker:int -> histogram -> float -> unit
+(** Record a sample into the worker's shard.  Unlike counters and timers, a
+    histogram shard is plain mutable state: give concurrent domains distinct
+    [worker] indices. *)
+
+val histogram_merged : histogram -> Stats.Histogram.t option
+(** All shards merged into one histogram ([None] on a disabled handle). *)
+
+(** {2 Snapshots} *)
+
+val to_json : t -> Flp_json.t list
+(** One record per metric, sorted by name — ready for a JSONL sink.  Schema:
+    every record carries ["metric"] and ["type"] ([counter]/[gauge]/[fgauge]/
+    [timer]/[histogram]); counters and gauges carry ["value"]; timers carry
+    ["calls"], ["seconds"], and a per-worker ["workers"] breakdown;
+    histograms carry ["count"] and the non-empty ["bins"] as
+    [{lo, hi, count}]. *)
+
+val emit : t -> Sink.t -> unit
+(** [to_json] streamed through the sink, one line per metric. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable table (the [--timings] rendering), sorted by name. *)

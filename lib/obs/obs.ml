@@ -1,0 +1,29 @@
+module Clock = Clock
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+
+type t = { metrics : Metrics.t; trace : Span.t }
+
+let disabled = { metrics = Metrics.disabled; trace = Span.disabled }
+
+let create ?(metrics = Metrics.disabled) ?(trace = Span.disabled) () = { metrics; trace }
+
+let enabled t = Metrics.enabled t.metrics || Span.enabled t.trace
+
+let with_reporting ?metrics_file ?trace_file ?(timings = false) f =
+  let metrics =
+    if metrics_file <> None || timings then Metrics.create () else Metrics.disabled
+  in
+  let finish result =
+    (match metrics_file with
+    | Some path -> Sink.with_file path (fun sink -> Metrics.emit metrics sink)
+    | None -> ());
+    if timings then Format.eprintf "== timings ==@.%a@." Metrics.pp metrics;
+    result
+  in
+  match trace_file with
+  | Some path ->
+      Sink.with_file path (fun sink ->
+          finish (f { metrics; trace = Span.create sink }))
+  | None -> finish (f { metrics; trace = Span.disabled })

@@ -1,0 +1,44 @@
+(** Observability: metrics, span tracing, and profiling clocks.
+
+    This is the instrumentation substrate for the hot paths of the
+    repository — the frontier explorer, the domain pool, the Theorem 1
+    adversary, the lint runner, and the simulation engine all accept an
+    {!t} and record through it.  Everything is built for two regimes:
+
+    - {b disabled} (the default, {!disabled}): every probe is a bounds check
+      or a pattern match — no clock reads, no allocation, no atomics — so
+      instrumented code paths run at full speed;
+    - {b enabled}: {!Metrics} cells are lock-free and sharded per worker so
+      domains record concurrently, {!Span} records stream to a JSONL
+      {!Sink}, and snapshots are deterministic (sorted, schema-stable).
+
+    The emitted format is JSON Lines via the shared {!Flp_json} tree: one
+    compact JSON object per line, the same schema for live metrics dumps,
+    span traces, and benchmark artifacts. *)
+
+module Clock = Clock
+module Sink = Sink
+module Metrics = Metrics
+module Span = Span
+
+type t = { metrics : Metrics.t; trace : Span.t }
+(** What instrumented code threads around: a metrics registry plus a span
+    tracer, either of which may be the no-op. *)
+
+val disabled : t
+(** Record nothing, cost (almost) nothing. *)
+
+val create : ?metrics:Metrics.t -> ?trace:Span.t -> unit -> t
+(** Missing components default to their no-ops. *)
+
+val enabled : t -> bool
+(** True when either component is live.  Hot loops may use this to skip
+    building attribute lists or reading clocks. *)
+
+val with_reporting :
+  ?metrics_file:string -> ?trace_file:string -> ?timings:bool -> (t -> 'a) -> 'a
+(** CLI plumbing shared by [flp_check], [flp_lint], and [flp_adversary]:
+    build an {!t} from the [--metrics FILE] / [--trace FILE] / [--timings]
+    flags, run the body with it, then write the metrics JSONL, print the
+    timing table to stderr, and close the trace file (even on exceptions).
+    With no flag set the body receives {!disabled}. *)

@@ -1,0 +1,32 @@
+type dest = Chan of out_channel | Buf of Buffer.t
+
+type t = Null | Out of { dest : dest; lock : Mutex.t }
+
+let null = Null
+
+let of_channel oc = Out { dest = Chan oc; lock = Mutex.create () }
+
+let of_buffer b = Out { dest = Buf b; lock = Mutex.create () }
+
+let is_null = function Null -> true | Out _ -> false
+
+let emit t json =
+  match t with
+  | Null -> ()
+  | Out { dest; lock } ->
+      (* Render outside the lock; the lock only serialises the write so
+         concurrent emitters cannot interleave halves of two records. *)
+      let line = Flp_json.to_string json in
+      Mutex.lock lock;
+      (match dest with
+      | Chan oc ->
+          output_string oc line;
+          output_char oc '\n'
+      | Buf b ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n');
+      Mutex.unlock lock
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (of_channel oc))

@@ -1,0 +1,27 @@
+(** JSONL output sinks.
+
+    A sink consumes {!Flp_json.t} documents and writes each as one compact
+    line — the JSON-Lines format shared by metrics dumps, span traces, and
+    the benchmark artifacts, so one parser reads them all.  Writes are
+    serialised by a mutex, so any domain may emit; records from concurrent
+    emitters never interleave within a line. *)
+
+type t
+
+val null : t
+(** Discards everything.  {!emit} on it is a single pattern match. *)
+
+val of_channel : out_channel -> t
+(** The caller retains ownership of the channel (closing, flushing). *)
+
+val of_buffer : Buffer.t -> t
+(** Collect records in memory — for tests and round-trips. *)
+
+val is_null : t -> bool
+
+val emit : t -> Flp_json.t -> unit
+(** Append one record as a compact single line terminated by ['\n']. *)
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] opens (truncates) [path], applies [f] to a sink over
+    it, and closes the file even if [f] raises. *)

@@ -1,0 +1,57 @@
+type state = { sink : Sink.t; origin : float; lock : Mutex.t; mutable depth : int }
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+
+let create ?origin sink =
+  if Sink.is_null sink then Disabled
+  else
+    let origin = match origin with Some o -> o | None -> Clock.now () in
+    Enabled { sink; origin; lock = Mutex.create (); depth = 0 }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let emit st fields = Sink.emit st.sink (Flp_json.Obj fields)
+
+let current_depth st =
+  Mutex.lock st.lock;
+  let d = st.depth in
+  Mutex.unlock st.lock;
+  d
+
+let event t ?(attrs = []) name =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+      let ts = Clock.now () -. st.origin in
+      emit st
+        (("type", Flp_json.Str "event")
+        :: ("name", Flp_json.Str name)
+        :: ("t_s", Flp_json.Float ts)
+        :: ("depth", Flp_json.Int (current_depth st))
+        :: attrs)
+
+let span t ?(attrs = []) name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled st ->
+      let t0 = Clock.now () in
+      Mutex.lock st.lock;
+      let d = st.depth in
+      st.depth <- d + 1;
+      Mutex.unlock st.lock;
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now () in
+          Mutex.lock st.lock;
+          st.depth <- st.depth - 1;
+          Mutex.unlock st.lock;
+          emit st
+            (("type", Flp_json.Str "span")
+            :: ("name", Flp_json.Str name)
+            :: ("start_s", Flp_json.Float (t0 -. st.origin))
+            :: ("dur_s", Flp_json.Float (t1 -. t0))
+            :: ("depth", Flp_json.Int d)
+            :: attrs))
+        f

@@ -1,0 +1,35 @@
+(** Nested span tracing over a JSONL sink.
+
+    A {e span} wraps a computation and emits one record when it finishes:
+    [{"type":"span","name":…,"start_s":…,"dur_s":…,"depth":…, attrs…}] with
+    times relative to the tracer's origin.  An {e event} is an instantaneous
+    record ([{"type":"event","name":…,"t_s":…,"depth":…, attrs…}]).  [depth]
+    is the nesting level at entry, so a consumer can rebuild the tree even
+    though spans appear in completion order (children before parents).
+
+    Extra [attrs] are spliced into the record after the reserved fields —
+    keep keys distinct from [type]/[name]/[t_s]/[start_s]/[dur_s]/[depth].
+
+    The tracer is safe to share across domains (the sink write and the depth
+    counter are mutex-protected), but depth only reflects true nesting when
+    spans are opened and closed from one domain — the intended use is tracing
+    the driving domain while worker domains record {!Metrics}. *)
+
+type t
+
+val disabled : t
+(** Spans run their thunk directly; events vanish.  Zero-cost: no clock
+    reads, no allocation. *)
+
+val create : ?origin:float -> Sink.t -> t
+(** A live tracer writing to the sink.  [origin] (default: now) is the
+    {!Clock} instant all timestamps are relative to.  Passing {!Sink.null}
+    yields {!disabled}. *)
+
+val enabled : t -> bool
+
+val span : t -> ?attrs:(string * Flp_json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span; the record is emitted when the thunk
+    returns {e or raises} (the exception is re-raised). *)
+
+val event : t -> ?attrs:(string * Flp_json.t) list -> string -> unit

@@ -17,6 +17,11 @@ type t = {
   mutable failure : exn option;  (* first exception raised by a worker *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  metrics : Obs.Metrics.t;
+  m_batch : Obs.Metrics.timer;  (* wall time per dispatched map batch *)
+  m_busy : Obs.Metrics.timer;  (* per-worker time inside the mapped function *)
+  m_idle : Obs.Metrics.timer;  (* per-worker batch wall minus busy: chunk-queue waits *)
+  m_chunks : Obs.Metrics.counter;  (* per-worker chunks claimed from the cursor *)
 }
 
 let jobs t = t.jobs
@@ -50,7 +55,7 @@ let worker t index =
     end
   done
 
-let create ~jobs =
+let create ?(metrics = Obs.Metrics.disabled) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     {
@@ -64,6 +69,11 @@ let create ~jobs =
       failure = None;
       stop = false;
       domains = [];
+      metrics;
+      m_batch = Obs.Metrics.timer metrics "pool.batch";
+      m_busy = Obs.Metrics.timer metrics "pool.worker.busy";
+      m_idle = Obs.Metrics.timer metrics "pool.worker.idle";
+      m_chunks = Obs.Metrics.counter metrics "pool.worker.chunks";
     }
   in
   t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
@@ -96,8 +106,20 @@ let run t f =
 
 let map ?chunk t f input =
   let n = Array.length input in
+  let live = Obs.Metrics.enabled t.metrics in
   if n = 0 then [||]
-  else if t.jobs = 1 then Array.map f input
+  else if t.jobs = 1 then
+    if not live then Array.map f input
+    else begin
+      let t0 = Obs.Clock.now () in
+      let out = Array.map f input in
+      let dur = Obs.Clock.elapsed t0 in
+      Obs.Metrics.add_seconds t.m_batch dur;
+      Obs.Metrics.add_seconds ~worker:0 t.m_busy dur;
+      Obs.Metrics.add_seconds ~worker:0 t.m_idle 0.0;
+      Obs.Metrics.incr ~worker:0 t.m_chunks 1;
+      out
+    end
   else begin
     let chunk =
       match chunk with
@@ -107,16 +129,43 @@ let map ?chunk t f input =
     in
     let out = Array.make n None in
     let cursor = Atomic.make 0 in
-    run t (fun _ ->
-        let running = ref true in
-        while !running do
-          let start = Atomic.fetch_and_add cursor chunk in
-          if start >= n then running := false
-          else
-            for i = start to Stdlib.min n (start + chunk) - 1 do
-              out.(i) <- Some (f input.(i))
-            done
-        done);
+    if not live then
+      run t (fun _ ->
+          let running = ref true in
+          while !running do
+            let start = Atomic.fetch_and_add cursor chunk in
+            if start >= n then running := false
+            else
+              for i = start to Stdlib.min n (start + chunk) - 1 do
+                out.(i) <- Some (f input.(i))
+              done
+          done)
+    else begin
+      (* Each worker accumulates busy time into its own slot; the pool's
+         pending-count handshake publishes the writes before we read them. *)
+      let busy = Array.make t.jobs 0.0 in
+      let b0 = Obs.Clock.now () in
+      run t (fun w ->
+          let running = ref true in
+          while !running do
+            let start = Atomic.fetch_and_add cursor chunk in
+            if start >= n then running := false
+            else begin
+              let c0 = Obs.Clock.now () in
+              for i = start to Stdlib.min n (start + chunk) - 1 do
+                out.(i) <- Some (f input.(i))
+              done;
+              busy.(w) <- busy.(w) +. Obs.Clock.elapsed c0;
+              Obs.Metrics.incr ~worker:w t.m_chunks 1
+            end
+          done);
+      let dur = Obs.Clock.elapsed b0 in
+      Obs.Metrics.add_seconds t.m_batch dur;
+      for w = 0 to t.jobs - 1 do
+        Obs.Metrics.add_seconds ~worker:w t.m_busy busy.(w);
+        Obs.Metrics.add_seconds ~worker:w t.m_idle (Float.max 0.0 (dur -. busy.(w)))
+      done
+    end;
     Array.map (function Some v -> v | None -> assert false) out
   end
 
@@ -129,6 +178,6 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join domains
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?metrics ~jobs f =
+  let t = create ?metrics ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

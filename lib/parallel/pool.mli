@@ -19,9 +19,16 @@
 type t
 (** A pool handle.  Not itself thread-safe: drive a pool from one domain. *)
 
-val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains.  [jobs:1] spawns
-    nothing.  Raises [Invalid_argument] when [jobs < 1]. *)
+val create : ?metrics:Obs.Metrics.t -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs:1] spawns
+    nothing.  Raises [Invalid_argument] when [jobs < 1].
+
+    When [metrics] is a live registry the pool records, per {!map} batch:
+    [pool.batch] (batch wall time), [pool.worker.busy] (per-worker time
+    inside the mapped function), [pool.worker.idle] (batch wall minus busy —
+    chunk-queue waits and load imbalance), and [pool.worker.chunks] (chunks
+    claimed per worker).  With the default {!Obs.Metrics.disabled} the
+    dispatch loops are the uninstrumented originals — no clock reads. *)
 
 val jobs : t -> int
 (** The worker count the pool was created with (including the caller). *)
@@ -47,6 +54,6 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Using the pool after
     shutdown raises [Invalid_argument]. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?metrics:Obs.Metrics.t -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] creates a pool, applies [f], and shuts the pool down
-    even if [f] raises. *)
+    even if [f] raises.  [metrics] is passed to {!create}. *)

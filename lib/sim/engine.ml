@@ -76,9 +76,12 @@ module Make (A : APP) = struct
 
   let no_trace (_ : Trace.event) = ()
 
-  let run_states_corrupted cfg ~on_event ~corrupt ~trace =
+  let run_states_corrupted ?(obs = Obs.disabled) cfg ~on_event ~corrupt ~trace =
     if Array.length cfg.inputs <> cfg.n then invalid_arg "Engine.run: inputs length";
     if Array.length cfg.crash_times <> cfg.n then invalid_arg "Engine.run: crash_times length";
+    let metrics = obs.Obs.metrics in
+    let instrumented = Obs.Metrics.enabled metrics in
+    let g_hwm = Obs.Metrics.gauge metrics "sim.heap_hwm" in
     let master = Rng.create cfg.seed in
     let net_rng = Rng.split master in
     let proc_rngs = Array.init cfg.n (fun _ -> Rng.split master) in
@@ -98,7 +101,8 @@ module Make (A : APP) = struct
     let send ~src ~dest msg =
       incr sent;
       let latency = Delay.sample cfg.delays net_rng in
-      Heap.push heap ~time:(!now +. latency) (Deliver { dest; src; msg })
+      Heap.push heap ~time:(!now +. latency) (Deliver { dest; src; msg });
+      if instrumented then Obs.Metrics.gauge_max g_hwm (Heap.size heap)
     in
     let rec apply_actions pid actions =
       match actions with
@@ -114,6 +118,7 @@ module Make (A : APP) = struct
           apply_actions pid rest
       | Set_timer (delay, tag) :: rest ->
           Heap.push heap ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag });
+          if instrumented then Obs.Metrics.gauge_max g_hwm (Heap.size heap);
           apply_actions pid rest
       | Decide v :: rest ->
           (match decisions.(pid) with
@@ -187,6 +192,11 @@ module Make (A : APP) = struct
                       apply_actions pid actions
                 end)
     done;
+    if instrumented then begin
+      Obs.Metrics.incr (Obs.Metrics.counter metrics "sim.events") !steps;
+      Obs.Metrics.incr (Obs.Metrics.counter metrics "sim.sent") !sent;
+      Obs.Metrics.incr (Obs.Metrics.counter metrics "sim.delivered") !delivered
+    end;
     let result =
       {
         decisions;
@@ -208,21 +218,21 @@ module Make (A : APP) = struct
 
   let quiet _ _ = ()
 
-  let run_verbose cfg ~on_event =
-    fst (run_states_corrupted cfg ~on_event ~corrupt:no_corruption ~trace:no_trace)
+  let run_verbose ?obs cfg ~on_event =
+    fst (run_states_corrupted ?obs cfg ~on_event ~corrupt:no_corruption ~trace:no_trace)
 
-  let run cfg = run_verbose cfg ~on_event:quiet
+  let run ?obs cfg = run_verbose ?obs cfg ~on_event:quiet
 
-  let run_states cfg =
-    run_states_corrupted cfg ~on_event:quiet ~corrupt:no_corruption ~trace:no_trace
+  let run_states ?obs cfg =
+    run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt:no_corruption ~trace:no_trace
 
-  let run_corrupted ~corrupt cfg =
-    fst (run_states_corrupted cfg ~on_event:quiet ~corrupt ~trace:no_trace)
+  let run_corrupted ?obs ~corrupt cfg =
+    fst (run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt ~trace:no_trace)
 
-  let run_traced cfg =
+  let run_traced ?obs cfg =
     let events = ref [] in
     let result, _ =
-      run_states_corrupted cfg ~on_event:quiet ~corrupt:no_corruption
+      run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt:no_corruption
         ~trace:(fun e -> events := e :: !events)
     in
     let crashes =

@@ -78,23 +78,31 @@ val validity_ok : inputs:int array -> result -> bool
 val decided_count : result -> int
 
 module Make (A : APP) : sig
-  val run : cfg -> result
+  val run : ?obs:Obs.t -> cfg -> result
+  (** [obs] (default {!Obs.disabled}) records [sim.events] (events
+      processed), [sim.sent], [sim.delivered], and the [sim.heap_hwm] gauge —
+      the event heap's high-water mark, i.e. the peak size of the FLP message
+      buffer plus armed timers.  The disabled default adds no clock reads or
+      atomic traffic to the event loop. *)
 
-  val run_verbose : cfg -> on_event:(float -> string -> unit) -> result
+  val run_verbose : ?obs:Obs.t -> cfg -> on_event:(float -> string -> unit) -> result
   (** Like [run] but reports each processed event for tracing/demos. *)
 
-  val run_states : cfg -> result * A.state option array
+  val run_states : ?obs:Obs.t -> cfg -> result * A.state option array
   (** Like [run], additionally returning each process's final internal state
       ([None] for initially-dead processes that never initialised), for
       protocol-specific invariant checks in tests and benches. *)
 
-  val run_traced : cfg -> result * Trace.event list
+  val run_traced : ?obs:Obs.t -> cfg -> result * Trace.event list
   (** Like [run], additionally returning the time-ordered trace of
       deliveries, timer firings, decisions, and crashes, ready for
       {!Trace.pp_diagram}. *)
 
   val run_corrupted :
-    corrupt:(pid:int -> A.msg action list -> A.msg action list) -> cfg -> result
+    ?obs:Obs.t ->
+    corrupt:(pid:int -> A.msg action list -> A.msg action list) ->
+    cfg ->
+    result
   (** Byzantine faults: every action list a process emits passes through
       [corrupt] before the engine executes it.  A Byzantine process is one
       whose [corrupt ~pid] rewrites sends (equivocation: replace a

@@ -9,7 +9,11 @@ let time_of = function
     ->
       time
 
-let sort events = List.stable_sort (fun a b -> compare (time_of a) (time_of b)) events
+(* Float.compare, not polymorphic compare: the specialised comparison is a
+   total order over nan (polymorphic compare also handles nan, but goes
+   through the generic structural-compare machinery on every call). *)
+let sort events =
+  List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events
 
 let pp_event ppf = function
   | Delivery { time; src; dst } -> Format.fprintf ppf "%6.2f  p%d -> p%d" time src dst

@@ -18,6 +18,15 @@ let add t x =
 
 let count t = t.total
 
+let bins t = Array.length t.counts
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Histogram.merge: incompatible bounds or bin count";
+  let counts = Array.copy a.counts in
+  Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) b.counts;
+  { a with counts; total = a.total + b.total }
+
 let bin_count t i = t.counts.(i)
 
 let bin_bounds t i =

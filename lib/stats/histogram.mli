@@ -9,6 +9,16 @@ val add : t -> float -> unit
 
 val count : t -> int
 
+val bins : t -> int
+(** Number of bins the histogram was created with. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram whose every bin holds the sum of the
+    corresponding bins of [a] and [b]; the inputs are not modified.  Used to
+    aggregate per-worker histograms recorded independently on separate
+    domains.  Raises [Invalid_argument] when the bounds or bin counts
+    differ. *)
+
 val bin_count : t -> int -> int
 (** Occupancy of bin [i] (0-based). *)
 

@@ -32,7 +32,7 @@ let pp_aggregate ppf a =
 module Async (A : Sim.Engine.APP) = struct
   module E = Sim.Engine.Make (A)
 
-  let run_one = E.run
+  let run_one cfg = E.run cfg
 
   let run ~seeds ~cfg () =
     List.fold_left

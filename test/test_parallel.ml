@@ -84,7 +84,7 @@ let test_invalid_jobs () =
     [ 0; -1 ]
 
 let test_shutdown_idempotent () =
-  let pool = Parallel.Pool.create ~jobs:2 in
+  let pool = Parallel.Pool.create ~jobs:2 () in
   Parallel.Pool.shutdown pool;
   Parallel.Pool.shutdown pool;
   Alcotest.(check bool) "use after shutdown rejected" true

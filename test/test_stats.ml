@@ -113,6 +113,32 @@ let test_histogram_empty_mode () =
   let h = Stats.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:3 in
   Alcotest.(check int) "mode -1" (-1) (Stats.Histogram.mode_bin h)
 
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  let b = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add a) [ 0.5; 1.5; 9.9 ];
+  List.iter (Stats.Histogram.add b) [ 1.2; 1.8; 5.5 ];
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "total" 6 (Stats.Histogram.count m);
+  Alcotest.(check int) "bin0" 1 (Stats.Histogram.bin_count m 0);
+  Alcotest.(check int) "bin1" 3 (Stats.Histogram.bin_count m 1);
+  Alcotest.(check int) "bin5" 1 (Stats.Histogram.bin_count m 5);
+  Alcotest.(check int) "bin9" 1 (Stats.Histogram.bin_count m 9);
+  Alcotest.(check int) "mode" 1 (Stats.Histogram.mode_bin m);
+  (* the merge is a fresh histogram: the inputs are untouched *)
+  Alcotest.(check int) "a untouched" 3 (Stats.Histogram.count a);
+  Alcotest.(check int) "b untouched" 3 (Stats.Histogram.count b);
+  Stats.Histogram.add m 2.5;
+  Alcotest.(check int) "adding to merge leaves a alone" 3 (Stats.Histogram.count a)
+
+let test_histogram_merge_mismatch () =
+  let msg = Invalid_argument "Histogram.merge: incompatible bounds or bin count" in
+  let base = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Alcotest.check_raises "bin count" msg (fun () ->
+      ignore (Stats.Histogram.merge base (Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5)));
+  Alcotest.check_raises "bounds" msg (fun () ->
+      ignore (Stats.Histogram.merge base (Stats.Histogram.create ~lo:0.0 ~hi:5.0 ~bins:10)))
+
 let () =
   Alcotest.run "stats"
     [
@@ -138,5 +164,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
           Alcotest.test_case "invalid" `Quick test_histogram_invalid;
           Alcotest.test_case "empty mode" `Quick test_histogram_empty_mode;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge mismatch" `Quick test_histogram_merge_mismatch;
         ] );
     ]

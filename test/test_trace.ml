@@ -92,6 +92,21 @@ let test_sort () =
   | [ Sim.Trace.Delivery _; Sim.Trace.Crash _; Sim.Trace.Decision _ ] -> ()
   | _ -> Alcotest.fail "wrong order"
 
+let test_sort_nan_total_order () =
+  (* Float.compare is a total order, so a NaN timestamp sorts first
+     deterministically instead of landing wherever the unspecified
+     polymorphic-compare placement left it *)
+  let events =
+    [
+      Sim.Trace.Decision { time = 2.0; pid = 0; value = 1 };
+      Sim.Trace.Crash { time = Float.nan; pid = 2 };
+      Sim.Trace.Delivery { time = 0.5; src = 0; dst = 1 };
+    ]
+  in
+  match Sim.Trace.sort events with
+  | [ Sim.Trace.Crash _; Sim.Trace.Delivery _; Sim.Trace.Decision _ ] -> ()
+  | _ -> Alcotest.fail "NaN must sort first under Float.compare"
+
 let () =
   Alcotest.run "trace"
     [
@@ -104,5 +119,6 @@ let () =
           Alcotest.test_case "diagram renders" `Quick test_diagram_renders;
           Alcotest.test_case "pp_event" `Quick test_pp_event;
           Alcotest.test_case "sort" `Quick test_sort;
+          Alcotest.test_case "sort NaN total order" `Quick test_sort_nan_total_order;
         ] );
     ]
