@@ -805,6 +805,44 @@ let e18 () =
      the FLP-permitted outcome: safety without guaranteed termination).@."
 
 (* ------------------------------------------------------------------ *)
+(* E19 — extension: adversarial scheduling, the policy zoo vs Ben-Or   *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  section "E19" "Adversarial scheduling: Ben-Or vs the payload-blind policy zoo (n=3, 40 seeds)";
+  let n = 3 in
+  let inputs = Workload.Scenario.split n ~ones:1 in
+  let cfg ~seed =
+    {
+      (Sim.Engine.default_cfg ~n ~inputs ~seed) with
+      delays = Sim.Delay.Uniform (0.1, 1.0);
+      max_steps = 200_000;
+    }
+  in
+  let arm spec =
+    Workload.Campaign.sim_arm
+      (module Protocols.Benor.App)
+      ~protocol:"ben-or"
+      ~policy:(Sched.Spec.to_string spec)
+      ~spec ~cfg
+  in
+  let arms =
+    List.map arm
+      Sched.Spec.
+        [
+          Oblivious; Fifo; Lifo; Starve 0; Round_robin_killer;
+          Admissible { budget = 16; inner = Starve 0 };
+        ]
+  in
+  let t = Workload.Campaign.run ~jobs:2 ~arms ~seeds:(seeds 40) () in
+  Format.printf "%a@." Workload.Campaign.pp t;
+  Format.printf
+    "paper §2-§3: every schedule here is admissible — a policy can reorder but \
+     never drop — so Ben-Or's coin still decides with probability 1; the \
+     adversaries only stretch the road (compare mean decision times against \
+     the oblivious row).  [flp_torture] runs the same grid from the CLI.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the analysis kernels                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -858,6 +896,28 @@ let micro () =
                   (Sim.Engine.default_cfg ~n:5
                      ~inputs:(Workload.Scenario.alternating 5)
                      ~seed:1))));
+      Test.make ~name:"E19:benor-n5-table-oblivious"
+        (Staged.stage (fun () ->
+             ignore
+               (BE.run
+                  {
+                    (Sim.Engine.default_cfg ~n:5
+                       ~inputs:(Workload.Scenario.alternating 5)
+                       ~seed:1)
+                    with
+                    sched = Some (fun () -> Sched.Policy.oblivious ());
+                  })));
+      Test.make ~name:"E19:benor-n5-starve0"
+        (Staged.stage (fun () ->
+             ignore
+               (BE.run
+                  {
+                    (Sim.Engine.default_cfg ~n:5
+                       ~inputs:(Workload.Scenario.alternating 5)
+                       ~seed:1)
+                    with
+                    sched = Some (Sched.Policy.starve ~victim:0);
+                  })));
       Test.make ~name:"substrate:closure-64"
         (Staged.stage (fun () -> ignore (Digraph.transitive_closure closure_graph)));
     ]
@@ -887,7 +947,7 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7_e8); ("E8", e7_e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18);
+    ("E17", e17); ("E18", e18); ("E19", e19);
   ]
 
 let () =

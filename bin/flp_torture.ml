@@ -1,0 +1,197 @@
+(* flp_torture: torture-campaign runner — a protocol × policy × seed grid
+   under adversarial scheduling, in parallel, emitting survival curves and
+   termination-probability estimates as BENCH_adversary.json.
+
+   Protocols come in two flavours: native simulator apps ("ben-or",
+   "ben-or-det", arbitrary n) and zoo model protocols ("zoo:NAME", n fixed
+   by the protocol) run through the Sched.Model_app bridge.  Policies are
+   Sched.Spec strings, plus the content-adaptive "chaser[:MAXCONFIGS]"
+   (zoo protocols only), composable as "admissible:BUDGET:chaser[:MC]". *)
+
+type policy_kind =
+  | Blind of Sched.Spec.t
+  | Chaser of { max_configs : int; budget : int option }
+
+let parse_policy s =
+  let chaser ?budget rest =
+    match rest with
+    | [] -> Ok (Chaser { max_configs = 200_000; budget })
+    | [ mc ] -> (
+        match int_of_string_opt mc with
+        | Some mc when mc > 0 -> Ok (Chaser { max_configs = mc; budget })
+        | _ -> Error (Printf.sprintf "chaser: bad max-configs %S" mc))
+    | _ -> Error (Printf.sprintf "bad policy %S" s)
+  in
+  match String.split_on_char ':' s with
+  | "chaser" :: rest -> chaser rest
+  | "admissible" :: b :: "chaser" :: rest -> (
+      match int_of_string_opt b with
+      | Some b when b >= 1 -> chaser ~budget:b rest
+      | _ -> Error (Printf.sprintf "admissible: bad budget %S" b))
+  | _ -> Result.map (fun spec -> Blind spec) (Sched.Spec.of_string s)
+
+let die fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; exit 1) fmt
+
+let parse_policies specs =
+  List.map
+    (fun s -> match parse_policy s with Ok k -> (s, k) | Error e -> die "%s" e)
+    specs
+
+(* One arm per (protocol, policy) pair.  [n]/[ones] size the sim-native
+   protocols; zoo protocols fix their own [n]. *)
+let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps =
+  let mk_cfg ~n ~inputs ~seed =
+    { (Sim.Engine.default_cfg ~n ~inputs ~seed) with Sim.Engine.delays; max_steps }
+  in
+  let sim_arms (module App : Sim.Engine.APP) =
+    let inputs = Workload.Scenario.split n ~ones:(min ones n) in
+    let cfg ~seed = mk_cfg ~n ~inputs ~seed in
+    List.map
+      (fun (pol_str, kind) ->
+        match kind with
+        | Blind spec ->
+            Workload.Campaign.sim_arm (module App) ~protocol:pname ~policy:pol_str
+              ~spec ~cfg
+        | Chaser _ ->
+            die "policy %S needs a model protocol; use --protocol zoo:NAME" pol_str)
+      policies
+  in
+  match pname with
+  | "ben-or" -> sim_arms (module Protocols.Benor.App)
+  | "ben-or-det" -> sim_arms (module Protocols.Benor.App_det)
+  | _ when String.length pname > 4 && String.sub pname 0 4 = "zoo:" -> (
+      let zname = String.sub pname 4 (String.length pname - 4) in
+      match Flp.Zoo.find zname with
+      | None -> die "unknown zoo protocol %S (see flp_check --list)" zname
+      | Some protocol ->
+          let module P = (val protocol : Flp.Protocol.S) in
+          let module M = Sched.Model_app.Make (P) in
+          let module E = Sim.Engine.Make (M) in
+          let module Ch = Sched.Chaser.Make (P) in
+          let n = P.n in
+          let inputs = Workload.Scenario.split n ~ones:(min ones n) in
+          let vinputs = Array.map Flp.Value.of_int inputs in
+          let cfg ~seed = mk_cfg ~n ~inputs ~seed in
+          List.map
+            (fun (pol_str, kind) ->
+              match kind with
+              | Blind spec ->
+                  Workload.Campaign.sim_arm (module M) ~protocol:pname
+                    ~policy:pol_str ~spec ~cfg
+              | Chaser { max_configs; budget } ->
+                  let cache = Ch.cache () in
+                  {
+                    Workload.Campaign.protocol = pname;
+                    policy = pol_str;
+                    run =
+                      (fun ~seed ->
+                        let c = cfg ~seed in
+                        let policy, _stats =
+                          Ch.policy ~max_configs ~cache ~inputs:vinputs ()
+                        in
+                        let policy =
+                          match budget with
+                          | None -> policy
+                          | Some budget -> Sched.Admissible.wrap ~budget policy
+                        in
+                        Workload.Campaign.trial_of_result ~inputs
+                          (E.run_scheduled ~policy c));
+                  })
+            policies)
+  | other -> die "unknown protocol %S (ben-or | ben-or-det | zoo:NAME)" other
+
+let run protocols policies n ones delay_spec seeds jobs max_steps out obs =
+  let protocols = if protocols = [] then [ "ben-or" ] else protocols in
+  let policy_strs =
+    if policies = [] then [ "oblivious"; "starve:0"; "rr-killer" ] else policies
+  in
+  let policies = parse_policies policy_strs in
+  let delays =
+    match Sim.Delay.of_string delay_spec with Ok d -> d | Error e -> die "%s" e
+  in
+  let arms =
+    List.concat_map
+      (fun pname -> arms_for ~pname ~policies ~n ~ones ~delays ~max_steps)
+      protocols
+  in
+  let seeds = List.init seeds (fun i -> i + 1) in
+  let campaign = Workload.Campaign.run ~jobs ~obs ~arms ~seeds () in
+  Format.printf "== torture: %d arms x %d seeds, jobs=%d, delays=%s ==@."
+    (List.length arms) (List.length seeds) jobs delay_spec;
+  Format.printf "%a" Workload.Campaign.pp campaign;
+  let json =
+    Workload.Campaign.to_json
+      ~meta:
+        [
+          ("n", Flp_json.Int n);
+          ("ones", Flp_json.Int ones);
+          ("delays", Flp_json.Str delay_spec);
+          ("max_steps", Flp_json.Int max_steps);
+          ("jobs", Flp_json.Int jobs);
+        ]
+      campaign
+  in
+  let oc = open_out out in
+  output_string oc (Flp_json.to_string_pretty json);
+  close_out oc;
+  Format.printf "wrote %s@." out
+
+open Cmdliner
+
+let protocols_arg =
+  Arg.(value & opt_all string []
+       & info [ "p"; "protocol" ] ~docv:"NAME"
+           ~doc:"Protocol to torture (repeatable): ben-or | ben-or-det | zoo:NAME. \
+                 Default: ben-or.")
+
+let policies_arg =
+  Arg.(value & opt_all string []
+       & info [ "s"; "policy" ] ~docv:"SPEC"
+           ~doc:"Scheduling policy (repeatable): oblivious | fifo | lifo | starve:PID \
+                 | partition:P+P@T | rr-killer | admissible:BUDGET:SPEC | \
+                 chaser[:MAXCONFIGS] (zoo protocols only). \
+                 Default: oblivious, starve:0, rr-killer.")
+
+let n_arg =
+  Arg.(value & opt int 3
+       & info [ "n" ] ~docv:"N"
+           ~doc:"Processes (sim-native protocols; zoo protocols fix their own).")
+
+let ones_arg =
+  Arg.(value & opt int 1 & info [ "ones" ] ~docv:"K" ~doc:"Processes with input 1 (rest 0).")
+
+let delay_arg =
+  Arg.(value & opt string "uniform:0.1,1" & info [ "delays" ] ~docv:"DIST"
+         ~doc:"const:D | uniform:LO,HI | exp:MEAN | pareto:SCALE,SHAPE.")
+
+let seeds_arg = Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Seeded trials per arm.")
+
+let jobs_arg = Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+
+let max_steps_arg =
+  Arg.(value & opt int 200_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Event budget per trial.")
+
+let out_arg =
+  Arg.(value & opt string "BENCH_adversary.json"
+       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON output path.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE" ~doc:"Write campaign/pool metrics as JSON Lines to $(docv).")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
+
+let cmd =
+  let main protocols policies n ones delays seeds jobs max_steps out metrics_file timings =
+    Obs.with_reporting ?metrics_file ~timings (fun obs ->
+        run protocols policies n ones delays seeds jobs max_steps out obs)
+  in
+  Cmd.v
+    (Cmd.info "flp_torture"
+       ~doc:"Torture consensus protocols under adversarial schedulers")
+    Term.(
+      const main $ protocols_arg $ policies_arg $ n_arg $ ones_arg $ delay_arg
+      $ seeds_arg $ jobs_arg $ max_steps_arg $ out_arg $ metrics_arg $ timings_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,39 @@
+module S = Sim.Scheduler
+
+type stats = { mutable forced : int; mutable max_overtaken : int }
+
+let wrap_stats ~budget (inner : 'msg S.policy) =
+  if budget < 1 then invalid_arg "Sched.Admissible.wrap: budget must be >= 1";
+  let stats = { forced = 0; max_overtaken = 0 } in
+  let overtaken : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let count id = Option.value ~default:0 (Hashtbl.find_opt overtaken id) in
+  (* Only events bound for live processes are owed delivery: the paper's
+     admissibility asks that every message addressed to a non-faulty process
+     be delivered, and says nothing about the dead. *)
+  let owed (v : S.view) it = not v.crashed.(S.dest_of it) in
+  let choose v ~payload =
+    match S.select (fun it -> owed v it && count it.id >= budget) v with
+    | Some it ->
+        stats.forced <- stats.forced + 1;
+        it.id
+    | None -> inner.S.choose v ~payload
+  in
+  let committed (v : S.view) ~payload id =
+    (match S.find v id with
+    | None -> ()
+    | Some fired ->
+        Array.iter
+          (fun it ->
+            if it.S.id <> id && S.oblivious_order it fired < 0 then begin
+              let c = count it.S.id + 1 in
+              Hashtbl.replace overtaken it.S.id c;
+              if c > stats.max_overtaken then stats.max_overtaken <- c
+            end)
+          v.S.items);
+    Hashtbl.remove overtaken id;
+    inner.S.committed v ~payload id
+  in
+  ( { S.name = Printf.sprintf "admissible:%d:%s" budget inner.S.name; choose; committed },
+    stats )
+
+let wrap ~budget inner = fst (wrap_stats ~budget inner)

@@ -1,0 +1,133 @@
+module S = Sim.Scheduler
+
+type stats = {
+  mutable oracle_calls : int;
+  mutable cache_hits : int;
+  mutable stuck_steps : int;
+  mutable incomplete : int;
+  mutable diverged : int;
+}
+
+module Make (P : Flp.Protocol.S) = struct
+  module A = Flp.Analysis.Make (P)
+  module C = A.C
+
+  (* The valence table: one exploration from the run's root configuration
+     classifies every configuration the run can ever reach (successors of
+     reachable configurations are reachable), so after the first query every
+     oracle answer is an [id_of] lookup.  [None] means the state space
+     overflowed [max_configs] and every valence is unknown. *)
+  type table = (A.Explore.graph * A.Valency.valence array) option
+
+  type cache = { lock : Mutex.t; mutable table : (C.t * table) option }
+  (* the root configuration the table was explored from, for misuse checks *)
+
+  let cache () = { lock = Mutex.create (); table = None }
+
+  let policy ?(max_configs = 200_000) ?cache:shared ~inputs () =
+    if Array.length inputs <> P.n then invalid_arg "Sched.Chaser: inputs length";
+    let cache =
+      match shared with Some c -> c | None -> { lock = Mutex.create (); table = None }
+    in
+    let stats =
+      { oracle_calls = 0; cache_hits = 0; stuck_steps = 0; incomplete = 0; diverged = 0 }
+    in
+    (* Mirror of the simulated system as an FLP configuration.  Model_app
+       gives every process one null step at init, in pid order; replaying
+       that here keeps the mirror's buffer equal to the engine's pending
+       message multiset, delivery by delivery. *)
+    let root =
+      let c = ref (C.initial inputs) in
+      for pid = 0 to P.n - 1 do
+        c := C.apply !c (C.null_event pid)
+      done;
+      !c
+    in
+    let config = ref root in
+    let table () =
+      Mutex.lock cache.lock;
+      let t =
+        match cache.table with
+        | Some (r, _) when not (C.equal r root) ->
+            Mutex.unlock cache.lock;
+            invalid_arg "Sched.Chaser: cache shared across different inputs"
+        | Some (_, t) ->
+            stats.cache_hits <- stats.cache_hits + 1;
+            t
+        | None ->
+            (* Computed under the lock: any concurrent trial sharing this
+               cache is after the same table and would only duplicate the
+               exploration. *)
+            stats.oracle_calls <- stats.oracle_calls + 1;
+            let g = A.Explore.explore ~max_configs root in
+            let t =
+              if not (A.Explore.complete g) then begin
+                stats.incomplete <- stats.incomplete + 1;
+                None
+              end
+              else Some (g, A.Valency.classify g)
+            in
+            cache.table <- Some (root, t);
+            t
+      in
+      Mutex.unlock cache.lock;
+      t
+    in
+    let valence c =
+      match table () with
+      | None -> None
+      | Some (g, valences) ->
+          Option.map (fun id -> valences.(id)) (A.Explore.id_of g c)
+    in
+    let event_of ~payload (it : S.item) =
+      match it.S.kind with
+      | S.Msg { dst; _ } -> Option.map (fun m -> C.deliver dst m) (payload it.S.id)
+      | S.Tmr _ -> None
+    in
+    let choose (v : S.view) ~payload =
+      if Array.exists Fun.id v.S.crashed then
+        invalid_arg "Sched.Chaser: the valency oracle requires a crash-free run";
+      (* Scan deliveries in oblivious order and fire the first one whose
+         successor configuration the oracle certifies bivalent — the Lemma 3
+         move that keeps both decision values reachable forever. *)
+      let sorted = Array.copy v.S.items in
+      Array.sort S.oblivious_order sorted;
+      let bivalent = ref None and undecided = ref None in
+      Array.iter
+        (fun it ->
+          if !bivalent = None then
+            match event_of ~payload it with
+            | Some ev when C.applicable !config ev -> (
+                match valence (C.apply !config ev) with
+                | Some A.Valency.Bivalent -> bivalent := Some it.S.id
+                | Some A.Valency.Undecided_forever ->
+                    if !undecided = None then undecided := Some it.S.id
+                | Some (A.Valency.Univalent _) | None -> ())
+            | Some _ | None -> ())
+        sorted;
+      match (!bivalent, !undecided) with
+      | Some id, _ -> id
+      | None, Some id ->
+          (* The simulator's delivery-only event set cannot preserve
+             bivalence here (the model adversary would take a null step),
+             but this delivery enters a configuration with no decision in
+             its future at all — the blocking mode.  Either way no process
+             ever decides; only the theorem's mode keeps decisions
+             reachable, so count the concession. *)
+          stats.stuck_steps <- stats.stuck_steps + 1;
+          id
+      | None, None ->
+          (* No undecidedness-preserving delivery exists: the concrete
+             protocol escapes Theorem 1's hypothesis here (or the oracle
+             overflowed).  Concede this step to the oblivious order. *)
+          stats.stuck_steps <- stats.stuck_steps + 1;
+          S.earliest v
+    in
+    let committed (v : S.view) ~payload id =
+      match Option.bind (S.find v id) (fun it -> event_of ~payload it) with
+      | Some ev when C.applicable !config ev -> config := C.apply !config ev
+      | Some _ -> stats.diverged <- stats.diverged + 1
+      | None -> ()
+    in
+    ({ S.name = "chaser:" ^ P.name; choose; committed }, stats)
+end

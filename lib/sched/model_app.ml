@@ -1,0 +1,25 @@
+module Make (P : Flp.Protocol.S) = struct
+  type state = P.state
+  type msg = P.msg
+
+  let name = P.name
+
+  let actions before st sends =
+    let acts = List.map (fun (dest, m) -> Sim.Engine.Send (dest, m)) sends in
+    match (before, P.output st) with
+    | None, Some v -> acts @ [ Sim.Engine.Decide (Flp.Value.to_int v) ]
+    | _ -> acts
+
+  let init ~n ~pid ~input ~rng:_ =
+    if n <> P.n then
+      invalid_arg (Printf.sprintf "Model_app(%s): protocol is fixed at n = %d" P.name P.n);
+    let st0 = P.init ~pid ~input:(Flp.Value.of_int input) in
+    let st, sends = P.step ~pid st0 None in
+    (st, actions (P.output st0) st sends)
+
+  let on_message ~n:_ ~pid st ~src:_ msg =
+    let st', sends = P.step ~pid st (Some msg) in
+    (st', actions (P.output st) st' sends)
+
+  let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+end

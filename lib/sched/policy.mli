@@ -1,0 +1,44 @@
+(** The payload-blind policy zoo.
+
+    Each constructor returns a {e fresh} policy instance implementing the
+    {!Sim.Scheduler.policy} interface; instances may be stateful and must
+    not be shared between runs.  All of these adversaries see timing,
+    topology, crash/decision status, and delivery progress — but no message
+    contents (they are {!Sim.Scheduler.blind}).  For the content-adaptive
+    adversary, see {!Chaser}. *)
+
+val oblivious : unit -> Sim.Scheduler.blind
+(** Sampled delay order — bit-identical to the engine's default heap
+    behaviour (pinned by the [test_sched] regression suite). *)
+
+val fifo : unit -> Sim.Scheduler.blind
+(** Global send order: the network degenerates to one FIFO queue. *)
+
+val lifo : unit -> Sim.Scheduler.blind
+(** Newest first: maximal reordering, old messages age indefinitely. *)
+
+val starve : victim:int -> unit -> Sim.Scheduler.blind
+(** Withhold everything destined to [victim] while anything else is
+    pending.  A policy cannot refuse to schedule, so once only the victim's
+    events remain they fire in oblivious order — starvation is exactly "as
+    long as the guard (or the queue) allows". *)
+
+val partition :
+  block:int list -> rejoin_at:float -> unit -> Sim.Scheduler.blind
+(** Withhold messages crossing between [block] and its complement while
+    [now < rejoin_at]; after the network heals, pure oblivious order.  The
+    backlog of cross-partition traffic then floods in at once. *)
+
+val round_robin_killer : unit -> Sim.Scheduler.blind
+(** Starve whichever live undecided process has consumed the most messages
+    so far — re-targeting, step by step, the process closest to deciding. *)
+
+val of_spec : Spec.t -> Sim.Scheduler.blind
+(** Instantiate a declarative spec (recursively wrapping with
+    {!Admissible.wrap} for [Spec.Admissible]).  Returns a fresh stateful
+    instance on every call. *)
+
+val factory : Spec.t -> (unit -> Sim.Scheduler.blind) option
+(** What [Sim.Engine.cfg.sched] wants: [None] for {!Spec.Oblivious} (the
+    engine's heap already implements it, bit-identically and faster), and a
+    per-run instance factory for everything else. *)

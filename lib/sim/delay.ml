@@ -31,6 +31,7 @@ let pp ppf = function
 
 let of_string s =
   let fail () = Error (Printf.sprintf "cannot parse delay spec %S" s) in
+  let invalid msg = Error (Printf.sprintf "invalid delay spec %S: %s" s msg) in
   match String.index_opt s ':' with
   | None -> fail ()
   | Some i -> (
@@ -41,9 +42,20 @@ let of_string s =
         | parts -> (
             try Some (List.map float_of_string parts) with Failure _ -> None)
       in
+      (* Note the comparisons below also reject NaN arguments: [x > 0.0] is
+         false for NaN. *)
       match (kind, floats ()) with
-      | "const", Some [ d ] -> Ok (Constant d)
-      | "uniform", Some [ lo; hi ] when lo <= hi -> Ok (Uniform (lo, hi))
-      | "exp", Some [ m ] -> Ok (Exponential m)
-      | "pareto", Some [ scale; shape ] -> Ok (Pareto { scale; shape })
+      | "const", Some [ d ] ->
+          if d > 0.0 then Ok (Constant d) else invalid "constant delay must be positive"
+      | "uniform", Some [ lo; hi ] ->
+          if not (lo >= 0.0 && hi >= 0.0) then invalid "uniform bounds must be non-negative"
+          else if not (lo <= hi) then invalid "uniform bounds must satisfy lo <= hi"
+          else if not (hi > 0.0) then invalid "uniform upper bound must be positive"
+          else Ok (Uniform (lo, hi))
+      | "exp", Some [ m ] ->
+          if m > 0.0 then Ok (Exponential m) else invalid "exponential mean must be positive"
+      | "pareto", Some [ scale; shape ] ->
+          if not (scale > 0.0) then invalid "pareto scale must be positive"
+          else if not (shape > 0.0) then invalid "pareto shape must be positive"
+          else Ok (Pareto { scale; shape })
       | _ -> fail ())

@@ -35,6 +35,7 @@ type cfg = {
   seed : int;
   max_steps : int;
   max_time : float;
+  sched : (unit -> Scheduler.blind) option;
 }
 
 let default_cfg ~n ~inputs ~seed =
@@ -46,6 +47,7 @@ let default_cfg ~n ~inputs ~seed =
     seed;
     max_steps = 1_000_000;
     max_time = 1e9;
+    sched = None;
   }
 
 let agreement_ok r =
@@ -76,7 +78,7 @@ module Make (A : APP) = struct
 
   let no_trace (_ : Trace.event) = ()
 
-  let run_states_corrupted ?(obs = Obs.disabled) cfg ~on_event ~corrupt ~trace =
+  let run_states_corrupted ?(obs = Obs.disabled) ?policy cfg ~on_event ~corrupt ~trace =
     if Array.length cfg.inputs <> cfg.n then invalid_arg "Engine.run: inputs length";
     if Array.length cfg.crash_times <> cfg.n then invalid_arg "Engine.run: crash_times length";
     let metrics = obs.Obs.metrics in
@@ -88,8 +90,8 @@ module Make (A : APP) = struct
     let states = Array.make cfg.n None in
     let decisions = Array.make cfg.n None in
     let decision_times = Array.make cfg.n nan in
+    let delivered_to = Array.make cfg.n 0 in
     let violations = ref [] in
-    let heap : ev Heap.t = Heap.create () in
     let now = ref 0.0 in
     let sent = ref 0 in
     let delivered = ref 0 in
@@ -97,12 +99,72 @@ module Make (A : APP) = struct
     let crashed pid =
       match cfg.crash_times.(pid) with Some t -> !now >= t | None -> false
     in
+    (* Resolve the scheduling policy: an explicit (possibly content-adaptive)
+       [?policy] wins over the blind factory in [cfg.sched]; with neither the
+       event heap plays the oblivious delay-order adversary directly. *)
+    let policy =
+      match policy with
+      | Some _ as p -> p
+      | None -> Option.map (fun factory -> Scheduler.lift (factory ())) cfg.sched
+    in
+    (* The event queue, abstracted so both regimes share one simulation loop.
+       [pop] returns the firing instant (never decreasing) plus the event. *)
+    let push, pop, queue_size =
+      match policy with
+      | None ->
+          let heap : ev Heap.t = Heap.create () in
+          ( (fun ~time ev -> Heap.push heap ~time ev),
+            (fun () -> Heap.pop heap),
+            fun () -> Heap.size heap )
+      | Some pol ->
+          let table : ev Scheduler.Table.t = Scheduler.Table.create () in
+          let push ~time ev =
+            let kind =
+              match ev with
+              | Deliver { dest; src; msg = _ } -> Scheduler.Msg { src; dst = dest }
+              | Timer { pid; tag } -> Scheduler.Tmr { pid; tag }
+            in
+            ignore (Scheduler.Table.add table ~ready_at:time ~sent_at:!now ~kind ev)
+          in
+          let payload id =
+            match Scheduler.Table.payload table id with
+            | Some (Deliver { msg; _ }) -> Some msg
+            | Some (Timer _) | None -> None
+          in
+          let pop () =
+            if Scheduler.Table.is_empty table then None
+            else begin
+              let view =
+                {
+                  Scheduler.now = !now;
+                  n = cfg.n;
+                  items = Scheduler.Table.items table;
+                  crashed = Array.init cfg.n crashed;
+                  decided = Array.map Option.is_some decisions;
+                  delivered_to = Array.copy delivered_to;
+                }
+              in
+              let id = pol.Scheduler.choose view ~payload in
+              (match Scheduler.Table.item table id with
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Engine: policy %s chose id %d, which is not pending"
+                       pol.Scheduler.name id)
+              | Some _ -> ());
+              pol.Scheduler.committed view ~payload id;
+              match Scheduler.Table.take table id with
+              | None -> assert false
+              | Some (item, ev) -> Some (Float.max !now item.Scheduler.ready_at, ev)
+            end
+          in
+          (push, pop, fun () -> Scheduler.Table.size table)
+    in
     let violation fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
     let send ~src ~dest msg =
       incr sent;
       let latency = Delay.sample cfg.delays net_rng in
-      Heap.push heap ~time:(!now +. latency) (Deliver { dest; src; msg });
-      if instrumented then Obs.Metrics.gauge_max g_hwm (Heap.size heap)
+      push ~time:(!now +. latency) (Deliver { dest; src; msg });
+      if instrumented then Obs.Metrics.gauge_max g_hwm (queue_size ())
     in
     let rec apply_actions pid actions =
       match actions with
@@ -117,8 +179,8 @@ module Make (A : APP) = struct
           done;
           apply_actions pid rest
       | Set_timer (delay, tag) :: rest ->
-          Heap.push heap ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag });
-          if instrumented then Obs.Metrics.gauge_max g_hwm (Heap.size heap);
+          push ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag });
+          if instrumented then Obs.Metrics.gauge_max g_hwm (queue_size ());
           apply_actions pid rest
       | Decide v :: rest ->
           (match decisions.(pid) with
@@ -160,7 +222,7 @@ module Make (A : APP) = struct
         running := false
       end
       else
-        match Heap.pop heap with
+        match pop () with
         | None ->
             outcome := Quiescent;
             running := false
@@ -171,6 +233,7 @@ module Make (A : APP) = struct
             | Deliver { dest; src; msg } ->
                 if not (crashed dest) then begin
                   incr delivered;
+                  delivered_to.(dest) <- delivered_to.(dest) + 1;
                   on_event t (Printf.sprintf "deliver %d->%d" src dest);
                   trace (Trace.Delivery { time = t; src; dst = dest });
                   match states.(dest) with
@@ -228,6 +291,11 @@ module Make (A : APP) = struct
 
   let run_corrupted ?obs ~corrupt cfg =
     fst (run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt ~trace:no_trace)
+
+  let run_scheduled ?obs ~policy cfg =
+    fst
+      (run_states_corrupted ?obs ~policy cfg ~on_event:quiet ~corrupt:no_corruption
+         ~trace:no_trace)
 
   let run_traced ?obs cfg =
     let events = ref [] in

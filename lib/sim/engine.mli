@@ -64,10 +64,19 @@ type cfg = {
   seed : int;
   max_steps : int;
   max_time : float;
+  sched : (unit -> Scheduler.blind) option;
+      (** Adversarial scheduling policy.  [None] (the default) is the
+          oblivious delay-order adversary, served straight from the event
+          heap — bit-identical to the engine's historical behaviour.  With
+          [Some factory], every run calls [factory ()] for a {e fresh}
+          policy instance (policies are stateful) and asks it which pending
+          event fires next; see {!Scheduler}.  Use [Sched.Policy.factory]
+          from [lib/sched] to build one from a declarative spec. *)
 }
 
 val default_cfg : n:int -> inputs:int array -> seed:int -> cfg
-(** Uniform(0.1, 1.0) delays, no crashes, generous limits. *)
+(** Uniform(0.1, 1.0) delays, no crashes, generous limits, oblivious
+    scheduling. *)
 
 val agreement_ok : result -> bool
 (** No two decided processes chose different values. *)
@@ -97,6 +106,14 @@ module Make (A : APP) : sig
   (** Like [run], additionally returning the time-ordered trace of
       deliveries, timer firings, decisions, and crashes, ready for
       {!Trace.pp_diagram}. *)
+
+  val run_scheduled : ?obs:Obs.t -> policy:A.msg Scheduler.policy -> cfg -> result
+  (** Like [run], but the given (possibly {e content-adaptive}) policy
+      overrides [cfg.sched]: at every step the policy — which may read
+      message payloads through its accessor — picks the pending event that
+      fires next.  The caller must pass a fresh policy instance per run
+      (policies are stateful).  Time stays monotonic: firing an event ahead
+      of its sampled arrival leaves the clock at [max now ready_at]. *)
 
   val run_corrupted :
     ?obs:Obs.t ->

@@ -1,0 +1,104 @@
+type kind =
+  | Msg of { src : int; dst : int }
+  | Tmr of { pid : int; tag : int }
+
+type item = { id : int; sent_at : float; ready_at : float; kind : kind }
+
+type view = {
+  now : float;
+  n : int;
+  items : item array;
+  crashed : bool array;
+  decided : bool array;
+  delivered_to : int array;
+}
+
+type 'msg policy = {
+  name : string;
+  choose : view -> payload:(int -> 'msg option) -> int;
+  committed : view -> payload:(int -> 'msg option) -> int -> unit;
+}
+
+type blind = unit policy
+
+let lift (b : blind) =
+  let nothing _ = None in
+  {
+    name = b.name;
+    choose = (fun v ~payload:_ -> b.choose v ~payload:nothing);
+    committed = (fun v ~payload:_ id -> b.committed v ~payload:nothing id);
+  }
+
+let dest_of item =
+  match item.kind with Msg { dst; _ } -> dst | Tmr { pid; _ } -> pid
+
+let is_message item = match item.kind with Msg _ -> true | Tmr _ -> false
+
+(* The oblivious delivery order: sampled arrival instant, then send order.
+   [ready_at] is never NaN (delays are finite), so the float compare is a
+   total order here. *)
+let oblivious_order a b =
+  match Float.compare a.ready_at b.ready_at with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let select pred v =
+  let best = ref None in
+  Array.iter
+    (fun it ->
+      if pred it then
+        match !best with
+        | Some b when oblivious_order b it <= 0 -> ()
+        | _ -> best := Some it)
+    v.items;
+  !best
+
+let find v id =
+  let found = ref None in
+  Array.iter (fun it -> if it.id = id then found := Some it) v.items;
+  !found
+
+let earliest ?prefer v =
+  let chosen =
+    match prefer with
+    | None -> select (fun _ -> true) v
+    | Some pred -> (
+        match select pred v with Some _ as s -> s | None -> select (fun _ -> true) v)
+  in
+  match chosen with
+  | Some it -> it.id
+  | None -> invalid_arg "Scheduler.earliest: no pending events"
+
+module Table = struct
+  type 'p t = { mutable next_id : int; entries : (int, item * 'p) Hashtbl.t }
+
+  let create () = { next_id = 0; entries = Hashtbl.create 64 }
+
+  let add t ~ready_at ~sent_at ~kind p =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.entries id ({ id; sent_at; ready_at; kind }, p);
+    id
+
+  let payload t id = Option.map snd (Hashtbl.find_opt t.entries id)
+
+  let item t id = Option.map fst (Hashtbl.find_opt t.entries id)
+
+  let take t id =
+    match Hashtbl.find_opt t.entries id with
+    | None -> None
+    | Some e ->
+        Hashtbl.remove t.entries id;
+        Some e
+
+  let size t = Hashtbl.length t.entries
+
+  let is_empty t = size t = 0
+
+  let items t =
+    let a =
+      Array.of_list (Hashtbl.fold (fun _ (it, _) acc -> it :: acc) t.entries [])
+    in
+    Array.sort (fun a b -> Int.compare a.id b.id) a;
+    a
+end

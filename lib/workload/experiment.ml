@@ -8,6 +8,7 @@ type aggregate = {
   decision_time : Stats.Summary.t;
   messages : Stats.Summary.t;
   steps : Stats.Summary.t;
+  decided_processes : Stats.Summary.t;
 }
 
 let empty () =
@@ -21,7 +22,37 @@ let empty () =
     decision_time = Stats.Summary.create ();
     messages = Stats.Summary.create ();
     steps = Stats.Summary.create ();
+    decided_processes = Stats.Summary.create ();
   }
+
+let summary_to_json s =
+  let f v = Flp_json.Float v in
+  Flp_json.Obj
+    [
+      ("count", Flp_json.Int (Stats.Summary.count s));
+      ("mean", f (Stats.Summary.mean s));
+      ("stddev", f (Stats.Summary.stddev s));
+      ("min", f (Stats.Summary.min s));
+      ("max", f (Stats.Summary.max s));
+      ("p50", f (Stats.Summary.percentile s 50.0));
+      ("p90", f (Stats.Summary.percentile s 90.0));
+      ("p99", f (Stats.Summary.percentile s 99.0));
+    ]
+
+let aggregate_to_json a =
+  Flp_json.Obj
+    [
+      ("trials", Flp_json.Int a.trials);
+      ("all_decided", Flp_json.Int a.all_decided);
+      ("blocked", Flp_json.Int a.blocked);
+      ("limited", Flp_json.Int a.limited);
+      ("agreement_violations", Flp_json.Int a.agreement_violations);
+      ("validity_violations", Flp_json.Int a.validity_violations);
+      ("decision_time", summary_to_json a.decision_time);
+      ("messages", summary_to_json a.messages);
+      ("steps", summary_to_json a.steps);
+      ("decided_processes", summary_to_json a.decided_processes);
+    ]
 
 let pp_aggregate ppf a =
   Format.fprintf ppf
@@ -48,6 +79,8 @@ module Async (A : Sim.Engine.APP) = struct
           Stats.Summary.add acc.decision_time last_decision;
         Stats.Summary.add acc.messages (float_of_int r.sent);
         Stats.Summary.add acc.steps (float_of_int r.steps);
+        Stats.Summary.add acc.decided_processes
+          (float_of_int (Sim.Engine.decided_count r));
         {
           acc with
           trials = acc.trials + 1;
@@ -87,6 +120,9 @@ module Round (A : Sim.Sync.ROUND_APP) = struct
         if decided then Stats.Summary.add acc.decision_time (float_of_int last_round);
         Stats.Summary.add acc.messages (float_of_int r.sent);
         Stats.Summary.add acc.steps (float_of_int r.rounds);
+        Stats.Summary.add acc.decided_processes
+          (float_of_int
+             (Array.fold_left (fun k d -> if d = None then k else k + 1) 0 r.decisions));
         let validity_ok =
           Array.for_all
             (function

@@ -15,9 +15,24 @@ type aggregate = {
   decision_time : Stats.Summary.t;  (** simulated time (or rounds) to last decision *)
   messages : Stats.Summary.t;
   steps : Stats.Summary.t;  (** engine events (or rounds executed) *)
+  decided_processes : Stats.Summary.t;
+      (** processes that wrote their output register, per trial — separates
+          "nobody ever decides" (the Theorem 1 adversary's mode) from
+          "someone is stranded" in runs that do not fully terminate *)
 }
 
+val empty : unit -> aggregate
+(** Fresh zeroed aggregate (the summaries are mutable accumulators). *)
+
 val pp_aggregate : Format.formatter -> aggregate -> unit
+
+val aggregate_to_json : aggregate -> Flp_json.t
+(** Machine-readable form of {!pp_aggregate}: counts plus
+    count/mean/stddev/min/max/p50/p90/p99 summaries for decision time,
+    messages, and steps (non-finite values render as [null]).  This is the
+    per-cell record inside [flp_torture]'s [BENCH_adversary.json]. *)
+
+val summary_to_json : Stats.Summary.t -> Flp_json.t
 
 module Async (A : Sim.Engine.APP) : sig
   val run :

@@ -17,6 +17,41 @@ let test_parse_errors () =
       | Error _ -> ())
     [ ""; "const"; "const:x"; "uniform:2,1"; "uniform:1"; "exp:"; "pareto:1"; "gamma:1" ]
 
+(* Degenerate-but-well-formed specs must be rejected with a message that
+   names the offending parameter, not accepted as nonsense distributions. *)
+let test_reject_degenerate () =
+  List.iter
+    (fun (spec, needle) ->
+      match Sim.Delay.of_string spec with
+      | Ok _ -> Alcotest.fail (spec ^ " should be rejected")
+      | Error e ->
+          let mentions =
+            let le = String.lowercase_ascii e in
+            let ln = String.lowercase_ascii needle in
+            let n = String.length ln in
+            let found = ref false in
+            for i = 0 to String.length le - n do
+              if String.sub le i n = ln then found := true
+            done;
+            !found
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s error %S mentions %S" spec e needle)
+            true mentions)
+    [
+      ("exp:-1", "positive");
+      ("exp:0", "positive");
+      ("exp:nan", "positive");
+      ("const:-5", "positive");
+      ("const:0", "positive");
+      ("pareto:-1,0", "scale");
+      ("pareto:1,0", "shape");
+      ("pareto:1,-2", "shape");
+      ("uniform:-2,-1", "non-negative");
+      ("uniform:0,0", "positive");
+      ("uniform:nan,1", "non-negative");
+    ]
+
 let test_pp_roundtrip () =
   List.iter
     (fun d ->
@@ -90,6 +125,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_parse;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "reject degenerate specs" `Quick test_reject_degenerate;
           Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
           Alcotest.test_case "strictly positive" `Quick test_positive;
           Alcotest.test_case "uniform range" `Quick test_uniform_range;

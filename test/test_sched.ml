@@ -1,0 +1,469 @@
+(* The adversarial-scheduler stack: Sim.Scheduler mechanism, the lib/sched
+   policy zoo, the admissibility guard, the valency chaser, and the
+   Workload.Campaign runner. *)
+
+module E = Sim.Engine
+module S = Sim.Scheduler
+module Benor = Sim.Engine.Make (Protocols.Benor.App)
+module Tpc = Sim.Engine.Make (Protocols.Two_phase_commit.App)
+
+let cfg_with ?(spec = Sched.Spec.Oblivious) base =
+  { base with E.sched = Sched.Policy.factory spec }
+
+let check_float = Alcotest.(check (float 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned regression: the default (oblivious, heap-served) schedule is
+   bit-identical to the engine's pre-scheduler behaviour.  The constants
+   below were captured on the commit preceding this feature. *)
+
+let benor_n3_cfg seed = E.default_cfg ~n:3 ~inputs:[| 0; 1; 1 |] ~seed
+
+let benor_n5_cfg seed =
+  {
+    (E.default_cfg ~n:5 ~inputs:[| 0; 1; 0; 1; 1 |] ~seed) with
+    E.delays = Sim.Delay.Exponential 0.4;
+  }
+
+let tpc_cfg seed =
+  {
+    (E.default_cfg ~n:4 ~inputs:[| 1; 1; 1; 1 |] ~seed) with
+    E.crash_times = [| None; Some 0.5; None; None |];
+  }
+
+let check_pinned name (r : E.result) ~sent ~delivered ~steps ~end_time ~decisions
+    ~times ~outcome =
+  Alcotest.(check int) (name ^ " sent") sent r.sent;
+  Alcotest.(check int) (name ^ " delivered") delivered r.delivered;
+  Alcotest.(check int) (name ^ " steps") steps r.steps;
+  check_float (name ^ " end_time") end_time r.end_time;
+  Alcotest.(check bool) (name ^ " outcome") true (r.outcome = outcome);
+  Alcotest.(check (array (option int))) (name ^ " decisions") decisions r.decisions;
+  Array.iteri
+    (fun i t ->
+      if Float.is_nan t then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s d%d nan" name i)
+          true
+          (Float.is_nan r.decision_times.(i))
+      else check_float (Printf.sprintf "%s d%d" name i) t r.decision_times.(i))
+    times
+
+let pinned_benor_n3 name r =
+  check_pinned name r ~sent:20 ~delivered:10 ~steps:10
+    ~end_time:0.87495475653007415
+    ~decisions:[| Some 1; Some 1; Some 1 |]
+    ~times:[| 0.53771458265350169; 0.84241969953027085; 0.87495475653007415 |]
+    ~outcome:E.All_decided
+
+let pinned_benor_n5 name r =
+  check_pinned name r ~sent:100 ~delivered:69 ~steps:69
+    ~end_time:0.91319600448857696
+    ~decisions:[| Some 1; Some 1; Some 1; Some 1; Some 1 |]
+    ~times:
+      [|
+        0.75824311514571496;
+        0.91319600448857696;
+        0.84880579618664853;
+        0.77877587333630793;
+        0.86630623731089951;
+      |]
+    ~outcome:E.All_decided
+
+let pinned_tpc name r =
+  check_pinned name r ~sent:5 ~delivered:4 ~steps:5 ~end_time:1.1161206912481996
+    ~decisions:[| None; None; None; None |]
+    ~times:[| nan; nan; nan; nan |]
+    ~outcome:E.Quiescent
+
+let test_pinned_default () =
+  pinned_benor_n3 "benor/heap" (Benor.run (benor_n3_cfg 42));
+  pinned_benor_n5 "benor5/heap" (Benor.run (benor_n5_cfg 7));
+  pinned_tpc "2pc/heap" (Tpc.run (tpc_cfg 11))
+
+(* The Oblivious spec maps to the heap path (factory = None)... *)
+let test_oblivious_factory_is_none () =
+  Alcotest.(check bool)
+    "factory Oblivious = None" true
+    (Sched.Policy.factory Sched.Spec.Oblivious = None)
+
+(* ...and the table-served oblivious policy replays the same schedule
+   bit-for-bit, so either path is the same adversary. *)
+let test_pinned_table_oblivious () =
+  let sched = Some (fun () -> Sched.Policy.oblivious ()) in
+  pinned_benor_n3 "benor/table" (Benor.run { (benor_n3_cfg 42) with E.sched });
+  pinned_benor_n5 "benor5/table" (Benor.run { (benor_n5_cfg 7) with E.sched });
+  pinned_tpc "2pc/table" (Tpc.run { (tpc_cfg 11) with E.sched })
+
+let results_equal (a : E.result) (b : E.result) =
+  a.decisions = b.decisions
+  && a.sent = b.sent && a.delivered = b.delivered && a.steps = b.steps
+  && a.end_time = b.end_time && a.outcome = b.outcome
+  && Array.for_all2
+       (fun x y -> x = y || (Float.is_nan x && Float.is_nan y))
+       a.decision_times b.decision_times
+
+let test_table_oblivious_equals_heap () =
+  let sched = Some (fun () -> Sched.Policy.oblivious ()) in
+  for seed = 1 to 20 do
+    let heap = Benor.run (benor_n3_cfg seed) in
+    let table = Benor.run { (benor_n3_cfg seed) with E.sched } in
+    Alcotest.(check bool)
+      (Printf.sprintf "benor seed %d" seed)
+      true (results_equal heap table);
+    let heap = Tpc.run (tpc_cfg seed) in
+    let table = Tpc.run { (tpc_cfg seed) with E.sched } in
+    Alcotest.(check bool)
+      (Printf.sprintf "2pc seed %d" seed)
+      true (results_equal heap table)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let s = Sched.Spec.to_string spec in
+      match Sched.Spec.of_string s with
+      | Ok spec' -> Alcotest.(check bool) ("roundtrip " ^ s) true (spec = spec')
+      | Error e -> Alcotest.fail e)
+    Sched.Spec.
+      [
+        Oblivious;
+        Fifo;
+        Lifo;
+        Starve 2;
+        Partition { block = [ 0; 2 ]; rejoin_at = 1.5 };
+        Round_robin_killer;
+        Admissible { budget = 32; inner = Starve 0 };
+        Admissible { budget = 4; inner = Admissible { budget = 9; inner = Lifo } };
+      ]
+
+let test_spec_errors () =
+  List.iter
+    (fun s ->
+      match Sched.Spec.of_string s with
+      | Ok _ -> Alcotest.fail (s ^ " should not parse")
+      | Error _ -> ())
+    [
+      "";
+      "random";
+      "starve";
+      "starve:-1";
+      "starve:x";
+      "partition:@1";
+      "partition:0+-2@1";
+      "partition:0+2@nan";
+      "admissible:0:fifo";
+      "admissible:8:";
+      "admissible:8:chaser";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Policy zoo sanity: every blind policy yields a safe terminating
+   Ben-Or run (policies reorder, they cannot drop or invent events). *)
+
+let test_policies_safe () =
+  List.iter
+    (fun spec ->
+      for seed = 1 to 10 do
+        let cfg = cfg_with ~spec (benor_n3_cfg seed) in
+        let r = Benor.run cfg in
+        let name =
+          Printf.sprintf "%s seed %d" (Sched.Spec.to_string spec) seed
+        in
+        Alcotest.(check bool) (name ^ " decided") true (r.outcome = E.All_decided);
+        Alcotest.(check bool) (name ^ " agreement") true (E.agreement_ok r);
+        Alcotest.(check bool)
+          (name ^ " validity") true
+          (E.validity_ok ~inputs:[| 0; 1; 1 |] r)
+      done)
+    Sched.Spec.
+      [
+        Fifo;
+        Lifo;
+        Starve 0;
+        Starve 2;
+        Partition { block = [ 0 ]; rejoin_at = 2.0 };
+        Round_robin_killer;
+        Admissible { budget = 8; inner = Lifo };
+        Admissible { budget = 16; inner = Starve 1 };
+      ]
+
+let mean_last_decision spec seeds =
+  let sum = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = Benor.run (cfg_with ~spec (benor_n3_cfg seed)) in
+      Array.iter
+        (fun t ->
+          if not (Float.is_nan t) then begin
+            sum := !sum +. t;
+            incr count
+          end)
+        [| Array.fold_left Float.max 0.0 r.decision_times |])
+    seeds;
+  !sum /. float_of_int !count
+
+(* The acceptance criterion: starvation demonstrably delays consensus. *)
+let test_starve_slower_than_oblivious () =
+  let seeds = List.init 15 (fun i -> i + 1) in
+  let obliv = mean_last_decision Sched.Spec.Oblivious seeds in
+  let starve = mean_last_decision (Sched.Spec.Starve 0) seeds in
+  Alcotest.(check bool)
+    (Printf.sprintf "starve (%.2f) > oblivious (%.2f)" starve obliv)
+    true (starve > obliv)
+
+(* ------------------------------------------------------------------ *)
+(* The admissibility guard *)
+
+(* A protocol that never decides and never quiesces on its own: everyone
+   broadcasts one batch at init and ignores everything — so the engine
+   drains the whole buffer under any policy, making "every message is
+   eventually delivered" directly observable. *)
+module Sink = struct
+  type state = unit
+  type msg = unit
+
+  let name = "sink"
+  let init ~n:_ ~pid:_ ~input:_ ~rng:_ = ((), [ E.Broadcast (); E.Broadcast () ])
+  let on_message ~n:_ ~pid:_ () ~src:_ () = ((), [])
+  let on_timer ~n:_ ~pid:_ () ~tag:_ = ((), [])
+end
+
+module Sink_engine = E.Make (Sink)
+
+let test_admissible_delivers_everything () =
+  List.iter
+    (fun budget ->
+      for seed = 1 to 5 do
+        let spec =
+          Sched.Spec.Admissible { budget; inner = Sched.Spec.Starve 0 }
+        in
+        let cfg = cfg_with ~spec (E.default_cfg ~n:4 ~inputs:[| 0; 1; 0; 1 |] ~seed) in
+        let r = Sink_engine.run cfg in
+        Alcotest.(check bool) "quiescent" true (r.outcome = E.Quiescent);
+        Alcotest.(check int)
+          (Printf.sprintf "budget %d seed %d: all delivered" budget seed)
+          r.sent r.delivered
+      done)
+    [ 1; 4; 64 ]
+
+let test_admissible_guard_stats () =
+  (* Victim 0's messages are systematically overtaken by Starve 0, so a
+     small budget must force deliveries; the overtake count never exceeds
+     the budget. *)
+  let budget = 2 in
+  let policy, stats =
+    Sched.Admissible.wrap_stats ~budget (S.lift (Sched.Policy.starve ~victim:0 ()))
+  in
+  let cfg = E.default_cfg ~n:4 ~inputs:[| 0; 1; 0; 1 |] ~seed:3 in
+  let r = Sink_engine.run_scheduled ~policy cfg in
+  Alcotest.(check int) "all delivered" r.sent r.delivered;
+  Alcotest.(check bool) "guard forced deliveries" true (stats.Sched.Admissible.forced > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "max_overtaken %d <= budget" stats.Sched.Admissible.max_overtaken)
+    true
+    (stats.Sched.Admissible.max_overtaken <= budget)
+
+let test_admissible_bad_budget () =
+  Alcotest.check_raises "budget 0"
+    (Invalid_argument "Sched.Admissible.wrap: budget must be >= 1")
+    (fun () -> ignore (Sched.Admissible.wrap ~budget:0 (S.lift (Sched.Policy.fifo ()))))
+
+(* ------------------------------------------------------------------ *)
+(* The Model_app bridge and the valency chaser *)
+
+let race3 () =
+  match Flp.Zoo.find "race:3" with
+  | Some p -> p
+  | None -> Alcotest.fail "zoo lost race:3"
+
+let test_model_app_n_mismatch () =
+  let p = race3 () in
+  let module P = (val p : Flp.Protocol.S) in
+  let module M = Sched.Model_app.Make (P) in
+  let module ME = E.Make (M) in
+  let cfg = E.default_cfg ~n:2 ~inputs:[| 1; 0 |] ~seed:1 in
+  match ME.run cfg with
+  | _ -> Alcotest.fail "n mismatch should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_model_app_agreement () =
+  let p = race3 () in
+  let module P = (val p : Flp.Protocol.S) in
+  let module M = Sched.Model_app.Make (P) in
+  let module ME = E.Make (M) in
+  for seed = 1 to 20 do
+    let cfg = E.default_cfg ~n:3 ~inputs:[| 1; 1; 0 |] ~seed in
+    let r = ME.run cfg in
+    Alcotest.(check bool) "agreement" true (E.agreement_ok r);
+    Alcotest.(check bool) "validity" true (E.validity_ok ~inputs:[| 1; 1; 0 |] r)
+  done
+
+let test_chaser_suppresses_decisions () =
+  let p = race3 () in
+  let module P = (val p : Flp.Protocol.S) in
+  let module M = Sched.Model_app.Make (P) in
+  let module ME = E.Make (M) in
+  let module Ch = Sched.Chaser.Make (P) in
+  let inputs = [| 1; 1; 0 |] in
+  let vinputs = Array.map Flp.Value.of_int inputs in
+  let cache = Ch.cache () in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let decided_with run =
+    List.fold_left
+      (fun acc seed ->
+        let cfg = E.default_cfg ~n:3 ~inputs ~seed in
+        acc + E.decided_count (run cfg))
+      0 seeds
+  in
+  let oblivious = decided_with (fun cfg -> ME.run cfg) in
+  let total_diverged = ref 0 in
+  let chased =
+    decided_with (fun cfg ->
+        let policy, stats = Ch.policy ~max_configs:600_000 ~cache ~inputs:vinputs () in
+        let r = ME.run_scheduled ~policy cfg in
+        total_diverged := !total_diverged + stats.Sched.Chaser.diverged;
+        r)
+  in
+  let guarded =
+    decided_with (fun cfg ->
+        let policy, _ = Ch.policy ~max_configs:600_000 ~cache ~inputs:vinputs () in
+        let policy = Sched.Admissible.wrap ~budget:16 policy in
+        ME.run_scheduled ~policy cfg)
+  in
+  Alcotest.(check int) "mirror never diverged" 0 !total_diverged;
+  Alcotest.(check bool)
+    (Printf.sprintf "chaser (%d) < oblivious (%d) decisions" chased oblivious)
+    true (chased < oblivious);
+  Alcotest.(check bool)
+    (Printf.sprintf "admissible chaser (%d) < oblivious (%d) decisions" guarded oblivious)
+    true (guarded < oblivious)
+
+let test_chaser_cache_shared () =
+  let p = race3 () in
+  let module P = (val p : Flp.Protocol.S) in
+  let module M = Sched.Model_app.Make (P) in
+  let module ME = E.Make (M) in
+  let module Ch = Sched.Chaser.Make (P) in
+  let inputs = [| 1; 1; 0 |] in
+  let vinputs = Array.map Flp.Value.of_int inputs in
+  let cache = Ch.cache () in
+  let run seed =
+    let policy, stats = Ch.policy ~max_configs:600_000 ~cache ~inputs:vinputs () in
+    ignore (ME.run_scheduled ~policy (E.default_cfg ~n:3 ~inputs ~seed));
+    stats
+  in
+  let first = run 1 in
+  let second = run 2 in
+  Alcotest.(check int) "one exploration total" 1
+    (first.Sched.Chaser.oracle_calls + second.Sched.Chaser.oracle_calls);
+  Alcotest.(check bool) "second run served from cache" true
+    (second.Sched.Chaser.cache_hits > 0);
+  Alcotest.(check int) "no overflow" 0
+    (first.Sched.Chaser.incomplete + second.Sched.Chaser.incomplete)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign runner *)
+
+let campaign_arms () =
+  List.map
+    (fun spec ->
+      Workload.Campaign.sim_arm
+        (module Protocols.Benor.App)
+        ~protocol:"ben-or"
+        ~policy:(Sched.Spec.to_string spec)
+        ~spec
+        ~cfg:(fun ~seed -> E.default_cfg ~n:3 ~inputs:[| 0; 1; 1 |] ~seed))
+    Sched.Spec.[ Oblivious; Starve 0; Admissible { budget = 16; inner = Starve 0 } ]
+
+let test_campaign_deterministic_across_jobs () =
+  let seeds = List.init 12 (fun i -> i + 1) in
+  let json jobs =
+    Flp_json.to_string
+      (Workload.Campaign.to_json
+         (Workload.Campaign.run ~jobs ~arms:(campaign_arms ()) ~seeds ()))
+  in
+  let j1 = json 1 in
+  Alcotest.(check string) "jobs=1 equals jobs=3" j1 (json 3);
+  Alcotest.(check string) "jobs=1 equals jobs=4" j1 (json 4)
+
+let test_campaign_cells () =
+  let seeds = List.init 10 (fun i -> i + 1) in
+  let t = Workload.Campaign.run ~arms:(campaign_arms ()) ~seeds () in
+  Alcotest.(check int) "one cell per arm" 3 (List.length t.Workload.Campaign.cells);
+  List.iter
+    (fun (c : Workload.Campaign.cell) ->
+      Alcotest.(check int) "trials" 10 c.aggregate.Workload.Experiment.trials;
+      check_float "ben-or always terminates" 1.0 c.termination_probability;
+      Alcotest.(check bool) "survival sorted, decreasing" true
+        (let s = c.survival in
+         let ok = ref true in
+         for i = 1 to Array.length s - 1 do
+           let t0, s0 = s.(i - 1) and t1, s1 = s.(i) in
+           if t1 < t0 || s1 > s0 then ok := false
+         done;
+         !ok);
+      Alcotest.(check bool) "survival ends at 0" true
+        (Array.length c.survival > 0 && snd c.survival.(Array.length c.survival - 1) = 0.0))
+    t.Workload.Campaign.cells
+
+let test_campaign_json_roundtrip () =
+  let seeds = List.init 5 (fun i -> i + 1) in
+  let t = Workload.Campaign.run ~arms:(campaign_arms ()) ~seeds () in
+  let s =
+    Flp_json.to_string (Workload.Campaign.to_json ~meta:[ ("n", Flp_json.Int 3) ] t)
+  in
+  match Flp_json.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+      Alcotest.(check bool) "schema tag" true
+        (Flp_json.member "schema" json = Some (Flp_json.Str "flp.campaign.v1"));
+      Alcotest.(check bool) "meta carried" true
+        (Flp_json.member "n" json = Some (Flp_json.Int 3));
+      (match Flp_json.member "cells" json with
+      | Some (Flp_json.List cells) -> Alcotest.(check int) "cells" 3 (List.length cells)
+      | _ -> Alcotest.fail "cells missing")
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "regression",
+        [
+          Alcotest.test_case "pinned default schedule" `Quick test_pinned_default;
+          Alcotest.test_case "oblivious factory is heap" `Quick test_oblivious_factory_is_none;
+          Alcotest.test_case "pinned table oblivious" `Quick test_pinned_table_oblivious;
+          Alcotest.test_case "table == heap across seeds" `Quick test_table_oblivious_equals_heap;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "safe under every policy" `Quick test_policies_safe;
+          Alcotest.test_case "starve delays consensus" `Quick test_starve_slower_than_oblivious;
+        ] );
+      ( "admissible",
+        [
+          Alcotest.test_case "delivers everything" `Quick test_admissible_delivers_everything;
+          Alcotest.test_case "guard stats" `Quick test_admissible_guard_stats;
+          Alcotest.test_case "bad budget" `Quick test_admissible_bad_budget;
+        ] );
+      ( "chaser",
+        [
+          Alcotest.test_case "bridge n mismatch" `Quick test_model_app_n_mismatch;
+          Alcotest.test_case "bridge agreement" `Quick test_model_app_agreement;
+          Alcotest.test_case "suppresses decisions" `Quick test_chaser_suppresses_decisions;
+          Alcotest.test_case "cache shared" `Quick test_chaser_cache_shared;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick test_campaign_deterministic_across_jobs;
+          Alcotest.test_case "cells" `Quick test_campaign_cells;
+          Alcotest.test_case "json roundtrip" `Quick test_campaign_json_roundtrip;
+        ] );
+    ]

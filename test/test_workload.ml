@@ -42,6 +42,38 @@ let test_random_initially_dead_count () =
     Alcotest.(check int) "exactly 4 dead" 4 dead
   done
 
+let test_random_initially_dead_distinct_in_range () =
+  let rng = Sim.Rng.create 11 in
+  for _ = 1 to 20 do
+    let n = 9 in
+    let a = S.random_initially_dead rng n ~count:4 in
+    Alcotest.(check int) "array sized n" n (Array.length a);
+    let dead = ref [] in
+    Array.iteri (fun pid -> function Some t -> dead := (pid, t) :: !dead | None -> ()) a;
+    Alcotest.(check int) "exactly count dead" 4 (List.length !dead);
+    List.iter
+      (fun (pid, t) ->
+        Alcotest.(check bool) "pid in range" true (pid >= 0 && pid < n);
+        Alcotest.(check (float 0.)) "dead from the start" 0.0 t)
+      !dead;
+    (* distinct by construction: each pid appears once as an array index,
+       so distinctness = the count matching the number of Some cells,
+       checked above; also verify no double-marking is even representable *)
+    Alcotest.(check int) "distinct pids" 4
+      (List.length (List.sort_uniq compare (List.map fst !dead)))
+  done
+
+let test_random_initially_dead_deterministic () =
+  let schedule seed =
+    S.random_initially_dead (Sim.Rng.create seed) 12 ~count:5
+  in
+  Alcotest.(check bool) "same seed, byte-identical" true (schedule 42 = schedule 42);
+  let differs = ref false in
+  for seed = 1 to 10 do
+    if schedule seed <> schedule (seed + 100) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds eventually differ" true !differs
+
 let test_random_sync_crashes () =
   let rng = Sim.Rng.create 7 in
   let a = S.random_sync_crashes rng ~n:6 ~f:3 ~max_round:5 in
@@ -129,6 +161,52 @@ let test_experiment_detects_disagreement () =
   Alcotest.(check int) "both trials violate agreement" 2 agg.agreement_violations;
   Alcotest.(check int) "validity also broken" 2 agg.validity_violations
 
+let test_aggregate_to_json_roundtrip () =
+  let agg =
+    Exp.run ~seeds:(List.init 8 Fun.id)
+      ~cfg:(fun ~seed -> Sim.Engine.default_cfg ~n:3 ~inputs:[| 1; 0; 1 |] ~seed)
+      ()
+  in
+  let s = Flp_json.to_string (Workload.Experiment.aggregate_to_json agg) in
+  match Flp_json.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+      Alcotest.(check bool) "trials" true
+        (Flp_json.member "trials" json = Some (Flp_json.Int 8));
+      Alcotest.(check bool) "all_decided" true
+        (Flp_json.member "all_decided" json = Some (Flp_json.Int 8));
+      (match Flp_json.member "decision_time" json with
+      | Some (Flp_json.Obj _ as dt) ->
+          Alcotest.(check bool) "summary count" true
+            (Flp_json.member "count" dt = Some (Flp_json.Int 8));
+          List.iter
+            (fun k ->
+              match Flp_json.member k dt with
+              | Some (Flp_json.Float _ | Flp_json.Int _ | Flp_json.Null) -> ()
+              | _ -> Alcotest.fail (k ^ " missing from summary"))
+            [ "mean"; "stddev"; "min"; "max"; "p50"; "p90"; "p99" ]
+      | _ -> Alcotest.fail "decision_time summary missing");
+      (match Flp_json.member "decided_processes" json with
+      | Some dp ->
+          Alcotest.(check bool) "decided_processes mean" true
+            (match Flp_json.member "mean" dp with
+            | Some (Flp_json.Float m) -> m = 3.0
+            | Some (Flp_json.Int m) -> m = 3
+            | _ -> false)
+      | None -> Alcotest.fail "decided_processes missing")
+
+let test_summary_to_json_empty_is_null () =
+  (* Non-finite floats (empty summary: nan mean, inf min) must render as
+     null, keeping the artifact parseable. *)
+  let s = Flp_json.to_string (Workload.Experiment.summary_to_json (Stats.Summary.create ())) in
+  match Flp_json.of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+      Alcotest.(check bool) "count 0" true
+        (Flp_json.member "count" json = Some (Flp_json.Int 0));
+      Alcotest.(check bool) "nan mean is null" true
+        (Flp_json.member "mean" json = Some Flp_json.Null)
+
 let () =
   Alcotest.run "workload"
     [
@@ -142,6 +220,10 @@ let () =
           Alcotest.test_case "initially dead" `Quick test_initially_dead;
           Alcotest.test_case "crash_at" `Quick test_crash_at;
           Alcotest.test_case "random dead count" `Quick test_random_initially_dead_count;
+          Alcotest.test_case "random dead distinct, in range" `Quick
+            test_random_initially_dead_distinct_in_range;
+          Alcotest.test_case "random dead deterministic" `Quick
+            test_random_initially_dead_deterministic;
           Alcotest.test_case "random sync crashes" `Quick test_random_sync_crashes;
           Alcotest.test_case "gst loss deterministic" `Quick test_gst_loss_deterministic;
           Alcotest.test_case "gst loss stops" `Quick test_gst_loss_stops_at_gst;
@@ -151,5 +233,7 @@ let () =
         [
           Alcotest.test_case "aggregate" `Quick test_experiment_aggregate;
           Alcotest.test_case "detects disagreement" `Quick test_experiment_detects_disagreement;
+          Alcotest.test_case "aggregate json roundtrip" `Quick test_aggregate_to_json_roundtrip;
+          Alcotest.test_case "empty summary is null" `Quick test_summary_to_json_empty_is_null;
         ] );
     ]
