@@ -1,0 +1,48 @@
+type t = {
+  rule : string;
+  severity : Lint.Severity.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+let v ~rule ~severity ~file ~line ~col ~message ~hint =
+  { rule; severity; file; line; col; message; hint }
+
+(* Canonical finding order: position in the tree first, then rule and message
+   so two findings on the same site stay stable.  Every comparator is
+   monomorphic — this module must satisfy the very rules it reports on. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%a] %s: %s" f.file f.line f.col Lint.Severity.pp
+    f.severity f.rule f.message;
+  if f.hint <> "" then Format.fprintf ppf "@,    hint: %s" f.hint
+
+let to_json f =
+  Flp_json.Obj
+    [
+      ("rule", Flp_json.Str f.rule);
+      ("severity", Flp_json.Str (Lint.Severity.to_string f.severity));
+      ("file", Flp_json.Str f.file);
+      ("line", Flp_json.Int f.line);
+      ("col", Flp_json.Int f.col);
+      ("message", Flp_json.Str f.message);
+      ("hint", Flp_json.Str f.hint);
+    ]

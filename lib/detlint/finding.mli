@@ -1,0 +1,38 @@
+(** One source-level determinism hazard.
+
+    Unlike the runtime linter's findings (which name a protocol and a
+    witness configuration), a detlint finding names a source position: the
+    file, line and column of the offending expression, plus the rule's
+    fix-it hint.  Severities reuse the runtime linter's ladder
+    ({!Lint.Severity}) so the two reports gate CI identically. *)
+
+type t = {
+  rule : string;  (** stable kebab-case rule id *)
+  severity : Lint.Severity.t;
+  file : string;  (** path as given to the scanner *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;  (** one-line statement of the hazard *)
+  hint : string;  (** how to fix or legitimately suppress it *)
+}
+
+val v :
+  rule:string ->
+  severity:Lint.Severity.t ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  hint:string ->
+  t
+
+val compare : t -> t -> int
+(** Canonical order: file, line, col, rule, message — the order reports are
+    printed and serialised in, independent of rule scheduling or [--jobs]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: [severity] rule: message] plus an indented hint line. *)
+
+val to_json : t -> Flp_json.t

@@ -1,0 +1,175 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  first : int;
+  last : int;
+  reason : string;
+}
+
+let valid t = t.reason <> "" && Rule.known t.rule
+
+(* Split so that scanning this very file does not read the literal as a
+   pragma: detlint audits its own sources. *)
+let marker = "detlint:" ^ " allow"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+let find_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Parse "<rule-id> [separator] <reason>": the id is the leading kebab token;
+   the reason is everything after it, minus a leading dash/em-dash/colon
+   separator and a trailing comment closer. *)
+let parse_spec s =
+  let n = String.length s in
+  let start = ref 0 in
+  while !start < n && s.[!start] = ' ' do incr start done;
+  let stop = ref !start in
+  while !stop < n && is_ident_char s.[!stop] do incr stop done;
+  let rule = String.sub s !start (!stop - !start) in
+  let rest = String.sub s !stop (n - !stop) in
+  let rest = String.trim rest in
+  let rest =
+    if String.length rest >= 3 && String.sub rest 0 3 = "\xe2\x80\x94" then
+      String.sub rest 3 (String.length rest - 3)
+    else if String.length rest >= 2 && String.sub rest 0 2 = "--" then
+      String.sub rest 2 (String.length rest - 2)
+    else if String.length rest >= 1 && (rest.[0] = '-' || rest.[0] = ':') then
+      String.sub rest 1 (String.length rest - 1)
+    else rest
+  in
+  let rest = String.trim rest in
+  let rest =
+    match find_sub ~sub:"*)" rest with
+    | Some i -> String.trim (String.sub rest 0 i)
+    | None -> rest
+  in
+  (rule, rest)
+
+(* Comment pragmas: one per line, covering that line and the next, so the
+   pragma can sit inline after the flagged expression or on its own line
+   directly above it. *)
+let of_comments (src : Source.t) =
+  let acc = ref [] in
+  List.iteri
+    (fun i line ->
+      match find_sub ~sub:marker line with
+      | None -> ()
+      | Some at ->
+          let lnum = i + 1 in
+          let spec = String.sub line (at + String.length marker)
+                       (String.length line - at - String.length marker) in
+          let rule, reason = parse_spec spec in
+          acc :=
+            { rule; file = src.Source.path; line = lnum; first = lnum;
+              last = lnum + 1; reason }
+            :: !acc)
+    (Source.lines src);
+  List.rev !acc
+
+let of_payload (payload : Parsetree.payload) =
+  match payload with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some (parse_spec s)
+  | _ -> None
+
+let of_attributes (src : Source.t) =
+  match src.Source.ast with
+  | Error _ -> []
+  | Ok ast ->
+      let acc = ref [] in
+      let add ~scope (attr : Parsetree.attribute) =
+        if attr.attr_name.txt = "detlint.allow" then
+          let line = attr.attr_loc.Location.loc_start.Lexing.pos_lnum in
+          let first, last = scope in
+          match of_payload attr.attr_payload with
+          | Some (rule, reason) ->
+              acc := { rule; file = src.Source.path; line; first; last; reason } :: !acc
+          | None ->
+              (* Payload that is not a string constant: keep it visible as a
+                 reasonless (hence invalid, hence flagged) suppression. *)
+              acc := { rule = ""; file = src.Source.path; line; first; last; reason = "" }
+                     :: !acc
+      in
+      let span (loc : Location.t) =
+        (loc.loc_start.Lexing.pos_lnum, loc.loc_end.Lexing.pos_lnum)
+      in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              List.iter (add ~scope:(span e.Parsetree.pexp_loc)) e.Parsetree.pexp_attributes;
+              Ast_iterator.default_iterator.expr self e);
+          value_binding =
+            (fun self vb ->
+              List.iter (add ~scope:(span vb.Parsetree.pvb_loc)) vb.Parsetree.pvb_attributes;
+              Ast_iterator.default_iterator.value_binding self vb);
+          structure_item =
+            (fun self item ->
+              (match item.Parsetree.pstr_desc with
+              | Pstr_attribute attr ->
+                  (* A floating [@@@detlint.allow ...] covers the rest of the
+                     file — the module-scope form. *)
+                  let line = item.pstr_loc.Location.loc_start.Lexing.pos_lnum in
+                  add ~scope:(line, max_int) attr
+              | _ -> ());
+              Ast_iterator.default_iterator.structure_item self item);
+        }
+      in
+      it.structure it ast;
+      List.rev !acc
+
+let compare_pos a b =
+  match Int.compare a.line b.line with
+  | 0 -> String.compare a.rule b.rule
+  | c -> c
+
+let collect src = List.stable_sort compare_pos (of_comments src @ of_attributes src)
+
+let apply suppressions findings =
+  let valid_sups = List.filter valid suppressions in
+  let used = Array.make (List.length valid_sups) 0 in
+  let indexed = List.mapi (fun i s -> (i, s)) valid_sups in
+  let keep (f : Finding.t) =
+    match
+      List.find_opt
+        (fun (_, s) -> s.rule = f.Finding.rule && f.Finding.line >= s.first && f.Finding.line <= s.last)
+        indexed
+    with
+    | Some (i, _) ->
+        used.(i) <- used.(i) + 1;
+        false
+    | None -> true
+  in
+  let kept = List.filter keep findings in
+  (* Invalid suppressions are inert, so their use count is 0; valid ones
+     appear in [valid_sups] in traversal order, which the cursor tracks. *)
+  let counts =
+    let cursor = ref (-1) in
+    List.map
+      (fun s ->
+        if valid s then begin
+          incr cursor;
+          (s, used.(!cursor))
+        end
+        else (s, 0))
+      suppressions
+  in
+  (kept, counts)

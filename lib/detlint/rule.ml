@@ -1,0 +1,186 @@
+type id =
+  | Unordered_iteration
+  | Poly_compare
+  | Physical_equality
+  | Ambient_time
+  | Ambient_random
+  | Marshal
+  | Unguarded_shared_mutation
+  | Bad_suppression
+
+type t = {
+  id : id;
+  name : string;
+  severity : Lint.Severity.t;
+  synopsis : string;
+  doc : string;
+  hint : string;
+}
+
+let unordered_iteration =
+  {
+    id = Unordered_iteration;
+    name = "unordered-iteration";
+    severity = Lint.Severity.Error;
+    synopsis = "iteration over an unordered container whose order can escape";
+    doc =
+      "Flags Hashtbl.iter / Hashtbl.fold / Hashtbl.to_seq(_keys/_values) and \
+       Sys.readdir: both enumerate in an unspecified order (bucket layout, \
+       directory layout) that varies with insertion history, hash seeding and \
+       the filesystem, so any result built from the raw order breaks \
+       bit-identical replay.  The rule flags every occurrence; sites that \
+       canonicalise immediately (sort by a total key before the order can \
+       escape) carry a suppression with the reason spelled out.";
+    hint =
+      "sort the collected results by a canonical key before they escape, or \
+       suppress with a written reason if the order provably cannot escape";
+  }
+
+let poly_compare =
+  {
+    id = Poly_compare;
+    name = "poly-compare";
+    severity = Lint.Severity.Error;
+    synopsis = "polymorphic structural comparison where the order may not be total";
+    doc =
+      "Flags Stdlib.compare anywhere, and a bare [compare] passed to the \
+       List/Array sort family.  Polymorphic compare is not a total order on \
+       floats (nan falls through every comparison — the exact class behind \
+       the Summary.percentile bug), raises on functions, and silently \
+       changes meaning when a type gains a float field.  The analysis is \
+       untyped, so monomorphic uses are flagged too: replace them with the \
+       explicit comparator (Int.compare, Float.compare, a per-type compare) \
+       or suppress with a reason plus a regression test that keeps the type \
+       in polymorphic-compare-safe territory.";
+    hint =
+      "use an explicit monomorphic comparator (Int.compare, Float.compare, \
+       String.compare, a hand-written per-type compare), or suppress with a \
+       reason and a float-freeness regression test";
+  }
+
+let physical_equality =
+  {
+    id = Physical_equality;
+    name = "physical-equality";
+    severity = Lint.Severity.Error;
+    synopsis = "physical equality (== / !=) outside an identity cache";
+    doc =
+      "Flags every use of (==) and (!=).  Physical equality depends on \
+       allocation and sharing decisions the language does not specify, so \
+       branches taken on it can differ between runs, optimisation levels and \
+       jobs counts.  The only legitimate uses are identity caches and \
+       cheap same-object short-circuits whose result is semantically \
+       invisible; those carry a suppression with the reason.";
+    hint =
+      "use structural equality or a per-type equal; suppress only for an \
+       identity cache whose hits are semantically invisible";
+  }
+
+let ambient_time =
+  {
+    id = Ambient_time;
+    name = "ambient-time";
+    severity = Lint.Severity.Error;
+    synopsis = "ambient wall-clock reads outside Obs.Clock";
+    doc =
+      "Flags Sys.time, Unix.time and Unix.gettimeofday.  Wall-clock reads \
+       make control flow depend on the host's scheduler and clock, which is \
+       exactly what the bit-identical-replay guarantee forbids; all timing \
+       goes through Obs.Clock (monotonic-clamped, instrumentation-only) so \
+       it can never feed back into simulation results.";
+    hint =
+      "route timing through Obs.Clock (observability-only); simulated time \
+       comes from the engine, never the host";
+  }
+
+let ambient_random =
+  {
+    id = Ambient_random;
+    name = "ambient-random";
+    severity = Lint.Severity.Error;
+    synopsis = "ambient stdlib Random outside the seeded Rng";
+    doc =
+      "Flags every use of the stdlib Random module (including Random.State \
+       and Random.self_init).  Its global state is invisible to the replay \
+       seed, so any draw from it forks the run from its recorded seed.  All \
+       randomness flows through Sim.Rng, which is explicitly seeded, \
+       splittable, and part of every experiment's recorded configuration — \
+       the FLP model's own discipline of making all nondeterminism explicit.";
+    hint = "draw from an explicitly seeded Sim.Rng threaded from the experiment config";
+  }
+
+let marshal =
+  {
+    id = Marshal;
+    name = "marshal";
+    severity = Lint.Severity.Error;
+    synopsis = "Marshal (or output_value/input_value) anywhere";
+    doc =
+      "Flags the Marshal module and its output_value/input_value aliases.  \
+       Marshalled bytes encode sharing, closure code pointers and flags that \
+       are not stable across compiler versions or even runs, so they can \
+       neither be diffed nor replayed; every artifact this repository emits \
+       goes through the typed Flp_json tree instead.";
+    hint = "emit and parse the typed Flp_json representation instead";
+  }
+
+let unguarded_shared_mutation =
+  {
+    id = Unguarded_shared_mutation;
+    name = "unguarded-shared-mutation";
+    severity = Lint.Severity.Warn;
+    synopsis = "heuristic data-race check on state shared with Domain.spawn closures";
+    doc =
+      "In any file that calls Domain.spawn, collects the identifiers \
+       captured by the spawned closures and flags writes to them (ref \
+       assignment, mutable-field set, Array.set) that are not syntactically \
+       under Mutex.protect or an Atomic operation.  This is a conservative \
+       static stand-in for the thread sanitizer we cannot run on this \
+       toolchain: manually locked regions and handshake-published writes are \
+       reported and must carry a suppression explaining the protocol that \
+       makes them safe.";
+    hint =
+      "wrap the write in Mutex.protect or use Atomic; if a happens-before \
+       edge other than a held lock publishes it, suppress with the protocol \
+       spelled out";
+  }
+
+let bad_suppression =
+  {
+    id = Bad_suppression;
+    name = "bad-suppression";
+    severity = Lint.Severity.Error;
+    synopsis = "detlint suppression without a reason or with an unknown rule id";
+    doc =
+      "Every suppression must name a rule from this catalogue and carry a \
+       written reason; a bare allow is indistinguishable from silencing a \
+       real hazard, so it is itself an error.  Reasonless or unknown-rule \
+       suppressions are inert (they suppress nothing) and flagged here, \
+       which keeps the JSON report's suppression inventory honest.";
+    (* assembled so detlint's own pragma scanner does not read this literal as
+       a (reasonless) suppression of rule.ml itself *)
+    hint =
+      "write the reason into the pragma: (* detlint"
+      ^ ": allow <rule-id> -- why it is safe *)";
+  }
+
+let all =
+  [
+    unordered_iteration;
+    poly_compare;
+    physical_equality;
+    ambient_time;
+    ambient_random;
+    marshal;
+    unguarded_shared_mutation;
+    bad_suppression;
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all
+
+let names () = List.map (fun r -> r.name) all
+
+let known name = List.exists (fun r -> r.name = name) all
+
+let pp ppf r =
+  Format.fprintf ppf "%s (%a): %s" r.name Lint.Severity.pp r.severity r.synopsis

@@ -1,0 +1,55 @@
+(** The detlint rule catalogue.
+
+    Mirrors {!Lint.Rule}: pure metadata — stable kebab-case id, severity,
+    one-line synopsis, full doc, fix-it hint — with the implementations
+    living in {!Rules}.  The ids are part of the tool's interface: they are
+    what suppressions name, what [--rule] selects, and what the JSON report
+    records, so they must never change meaning. *)
+
+type id =
+  | Unordered_iteration
+  | Poly_compare
+  | Physical_equality
+  | Ambient_time
+  | Ambient_random
+  | Marshal
+  | Unguarded_shared_mutation
+  | Bad_suppression
+
+type t = {
+  id : id;
+  name : string;
+  severity : Lint.Severity.t;
+  synopsis : string;
+  doc : string;
+  hint : string;
+}
+
+val unordered_iteration : t
+
+val poly_compare : t
+
+val physical_equality : t
+
+val ambient_time : t
+
+val ambient_random : t
+
+val marshal : t
+
+val unguarded_shared_mutation : t
+
+val bad_suppression : t
+
+val all : t list
+(** Catalogue order (also the [--list-rules] order). *)
+
+val find : string -> t option
+
+val names : unit -> string list
+
+val known : string -> bool
+(** Whether the id names a catalogue rule — what suppressions are checked
+    against. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,312 @@
+(* The rule implementations: untyped single-pass scans over the parsetree.
+
+   Working on the Parsetree (not the Typedtree) keeps the analysis dependency-
+   free and able to audit sources that do not currently compile, at the cost
+   of seeing names instead of types.  Each rule therefore matches identifier
+   paths — with and without an explicit [Stdlib.] prefix — and leans on the
+   suppression mechanism (Pragma) for the sites where the name is innocent.
+   Locations come straight from the lexer, so findings point at the exact
+   offending expression. *)
+
+module StringSet = Set.Make (String)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> Some [ s ]
+  | Longident.Ldot (l, s) -> Option.map (fun p -> p @ [ s ]) (flatten_lid l)
+  | Longident.Lapply _ -> None
+
+(* [Stdlib.Hashtbl.fold] and [Hashtbl.fold] are the same function; compare
+   module paths with the explicit prefix stripped. *)
+let normalize = function
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | p -> p
+
+let path_of_expr (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten_lid txt
+  | _ -> None
+
+let finding (rule : Rule.t) ~(loc : Location.t) message =
+  Finding.v ~rule:rule.Rule.name ~severity:rule.Rule.severity
+    ~file:loc.loc_start.Lexing.pos_fname
+    ~line:loc.loc_start.Lexing.pos_lnum
+    ~col:(loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol)
+    ~message ~hint:rule.Rule.hint
+
+let dotted p = String.concat "." p
+
+(* Shared driver: walk every expression of the structure, letting the rule
+   inspect each node (idents, applications) and emit findings. *)
+let scan_exprs (src : Source.t) on_expr =
+  match src.Source.ast with
+  | Error _ -> []
+  | Ok ast ->
+      let acc = ref [] in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              on_expr acc e;
+              Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      it.structure it ast;
+      List.rev !acc
+
+(* Rules keyed on a set of identifier paths, with a per-path message. *)
+let ident_rule rule classify src =
+  scan_exprs src (fun acc (e : Parsetree.expression) ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match flatten_lid txt with
+          | Some p -> (
+              match classify p with
+              | Some message -> acc := finding rule ~loc message :: !acc
+              | None -> ())
+          | None -> ())
+      | _ -> ())
+
+let unordered_iteration src =
+  ident_rule Rule.unordered_iteration
+    (fun p ->
+      match normalize p with
+      | [ "Hashtbl"; ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") ] ->
+          Some
+            (Printf.sprintf
+               "%s enumerates in unspecified bucket order; anything built from \
+                the raw order is schedule-dependent"
+               (dotted (normalize p)))
+      | [ "Sys"; "readdir" ] ->
+          Some
+            "Sys.readdir returns entries in unspecified filesystem order; sort \
+             before the order can escape"
+      | _ -> None)
+    src
+
+let sort_family = function
+  | [ "List"; ("sort" | "stable_sort" | "fast_sort" | "sort_uniq" | "merge") ]
+  | [ "Array"; ("sort" | "stable_sort" | "fast_sort") ]
+  | [ "ListLabels"; ("sort" | "stable_sort" | "fast_sort" | "sort_uniq" | "merge") ]
+  | [ "ArrayLabels"; ("sort" | "stable_sort" | "fast_sort") ] ->
+      true
+  | _ -> false
+
+let poly_compare src =
+  scan_exprs src (fun acc (e : Parsetree.expression) ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> (
+          match flatten_lid txt with
+          | Some [ "Stdlib"; "compare" ] ->
+              acc :=
+                finding Rule.poly_compare ~loc
+                  "Stdlib.compare is the polymorphic structural compare: not a \
+                   total order on floats (nan), raises on functions, and \
+                   changes meaning when the type changes"
+                :: !acc
+          | Some _ | None -> ())
+      | Pexp_apply (f, args) -> (
+          match path_of_expr f with
+          | Some fp when sort_family (normalize fp) -> (
+              match
+                List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args
+              with
+              | Some (_, cmp) -> (
+                  match path_of_expr cmp with
+                  | Some [ "compare" ] ->
+                      acc :=
+                        finding Rule.poly_compare ~loc:cmp.pexp_loc
+                          (Printf.sprintf
+                             "%s is called with the polymorphic compare; the \
+                              element order is structural and float-unsafe"
+                             (dotted (normalize fp)))
+                        :: !acc
+                  | Some _ | None -> ())
+              | None -> ())
+          | Some _ | None -> ())
+      | _ -> ())
+
+let physical_equality src =
+  ident_rule Rule.physical_equality
+    (fun p ->
+      match normalize p with
+      | [ "==" ] -> Some "(==) is physical equality: allocation- and sharing-dependent"
+      | [ "!=" ] -> Some "(!=) is physical inequality: allocation- and sharing-dependent"
+      | _ -> None)
+    src
+
+let ambient_time src =
+  ident_rule Rule.ambient_time
+    (fun p ->
+      match normalize p with
+      | [ "Sys"; "time" ] | [ "Unix"; "time" ] | [ "Unix"; "gettimeofday" ] ->
+          Some
+            (Printf.sprintf "%s reads the ambient wall clock; results become \
+                             host- and load-dependent"
+               (dotted (normalize p)))
+      | _ -> None)
+    src
+
+let ambient_random src =
+  ident_rule Rule.ambient_random
+    (fun p ->
+      match normalize p with
+      | "Random" :: _ ->
+          Some
+            (Printf.sprintf
+               "%s draws from the ambient stdlib Random state, invisible to \
+                the replay seed"
+               (dotted (normalize p)))
+      | _ -> None)
+    src
+
+let marshal src =
+  ident_rule Rule.marshal
+    (fun p ->
+      match normalize p with
+      | "Marshal" :: _ | [ "output_value" ] | [ "input_value" ] ->
+          Some
+            (Printf.sprintf
+               "%s bytes are not stable across runs or compiler versions; \
+                use the typed Flp_json tree"
+               (dotted (normalize p)))
+      | _ -> None)
+    src
+
+(* --- unguarded-shared-mutation ------------------------------------------- *)
+
+(* Every bare identifier mentioned anywhere under an expression: the
+   conservative over-approximation of what a closure captures. *)
+let idents_under (e : Parsetree.expression) =
+  let set = ref StringSet.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; _ } -> set := StringSet.add n !set
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !set
+
+let spawn_captures ast =
+  let captured = ref StringSet.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match path_of_expr f with
+              | Some fp when normalize fp = [ "Domain"; "spawn" ] ->
+                  List.iter
+                    (fun (_, a) -> captured := StringSet.union !captured (idents_under a))
+                    args
+              | Some _ | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it ast;
+  !captured
+
+let base_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> Some n
+  | _ -> None
+
+(* A mutation of [Some name]: ref assignment, mutable-field set, array set. *)
+let mutation_target (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_setfield (base, _, _) -> base_name base
+  | Pexp_apply (f, (Asttypes.Nolabel, base) :: _) -> (
+      match path_of_expr f with
+      | Some [ ":=" ] | Some [ "Stdlib"; ":=" ] -> base_name base
+      | Some fp when normalize fp = [ "Array"; "set" ] || normalize fp = [ "Array"; "unsafe_set" ]
+        ->
+          base_name base
+      | Some _ | None -> None)
+  | _ -> None
+
+let guard_call (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match path_of_expr f with
+      | Some fp -> (
+          match normalize fp with
+          | "Atomic" :: _ | [ "Mutex"; "protect" ] -> true
+          | _ -> false)
+      | None -> false)
+  | _ -> false
+
+let unguarded_shared_mutation (src : Source.t) =
+  match src.Source.ast with
+  | Error _ -> []
+  | Ok ast ->
+      let shared = spawn_captures ast in
+      if StringSet.is_empty shared then []
+      else begin
+        let acc = ref [] in
+        let guard_depth = ref 0 in
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                (match mutation_target e with
+                | Some n when !guard_depth = 0 && StringSet.mem n shared ->
+                    acc :=
+                      finding Rule.unguarded_shared_mutation ~loc:e.Parsetree.pexp_loc
+                        (Printf.sprintf
+                           "write to '%s', which is captured by a Domain.spawn \
+                            closure, outside Atomic/Mutex.protect"
+                           n)
+                      :: !acc
+                | Some _ | None -> ());
+                let guarded = guard_call e in
+                if guarded then incr guard_depth;
+                Ast_iterator.default_iterator.expr self e;
+                if guarded then decr guard_depth);
+          }
+        in
+        it.structure it ast;
+        List.rev !acc
+      end
+
+let bad_suppression (src : Source.t) =
+  let rule = Rule.bad_suppression in
+  List.filter_map
+    (fun (s : Pragma.t) ->
+      if Pragma.valid s then None
+      else
+        let message =
+          if s.Pragma.rule = "" then
+            "suppression carries no rule id (expected: allow <rule-id> -- reason)"
+          else if not (Rule.known s.Pragma.rule) then
+            Printf.sprintf "suppression names unknown rule id %S" s.Pragma.rule
+          else Printf.sprintf "suppression for %S carries no written reason" s.Pragma.rule
+        in
+        Some
+          (Finding.v ~rule:rule.Rule.name ~severity:rule.Rule.severity
+             ~file:s.Pragma.file ~line:s.Pragma.line ~col:0 ~message
+             ~hint:rule.Rule.hint))
+    (Pragma.collect src)
+
+let check (src : Source.t) (rule : Rule.t) =
+  match rule.Rule.id with
+  | Rule.Unordered_iteration -> unordered_iteration src
+  | Rule.Poly_compare -> poly_compare src
+  | Rule.Physical_equality -> physical_equality src
+  | Rule.Ambient_time -> ambient_time src
+  | Rule.Ambient_random -> ambient_random src
+  | Rule.Marshal -> marshal src
+  | Rule.Unguarded_shared_mutation -> unguarded_shared_mutation src
+  | Rule.Bad_suppression -> bad_suppression src
+
+let check_all ?(rules = Rule.all) src =
+  List.stable_sort Finding.compare (List.concat_map (fun r -> check src r) rules)

@@ -1,0 +1,16 @@
+(** Rule implementations: untyped scans over one source's parsetree.
+
+    Each rule matches identifier paths (with and without an explicit
+    [Stdlib.] prefix) rather than types — see the per-rule docs in {!Rule}
+    for exactly what is and is not caught.  Findings carry the lexer's
+    locations, so they point at the offending expression, not the enclosing
+    binding. *)
+
+val check : Source.t -> Rule.t -> Finding.t list
+(** Raw findings for one rule, before suppressions are applied.  A source
+    whose AST failed to parse yields no findings here except for
+    [bad-suppression], which only needs the comment text. *)
+
+val check_all : ?rules:Rule.t list -> Source.t -> Finding.t list
+(** All requested rules (default: the whole catalogue), canonically sorted
+    with {!Finding.compare}. *)

@@ -1,0 +1,121 @@
+module StringSet = Set.Make (String)
+
+let parse_error_rule = "parse-error"
+
+let skip name = name = "" || name.[0] = '.' || name.[0] = '_'
+
+let rec walk acc path =
+  match Sys.is_directory path with
+  | true ->
+      (* detlint: allow unordered-iteration -- entries are sorted with String.compare on the next line, before the order can escape *)
+      let entries = Sys.readdir path in
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc name -> if skip name then acc else walk acc (Filename.concat path name))
+        acc entries
+  | false -> if Filename.check_suffix path ".ml" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let collect_files roots =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | root :: rest ->
+        if Sys.file_exists root then go (walk acc root) rest
+        else Error (Printf.sprintf "no such file or directory: %s" root)
+  in
+  match go [] roots with
+  | Error _ as e -> e
+  | Ok files ->
+      let seen = ref StringSet.empty in
+      Ok
+        (List.filter
+           (fun f ->
+             if StringSet.mem f !seen then false
+             else begin
+               seen := StringSet.add f !seen;
+               true
+             end)
+           files)
+
+let check_source ?rules (src : Source.t) =
+  let findings = Rules.check_all ?rules src in
+  let kept, counts = Pragma.apply (Pragma.collect src) findings in
+  let kept =
+    match src.Source.ast with
+    | Ok _ -> kept
+    | Error (msg, line) ->
+        (* A file that does not parse cannot be audited; that is itself a
+           hard, unsuppressible error. *)
+        Finding.v ~rule:parse_error_rule ~severity:Lint.Severity.Error
+          ~file:src.Source.path ~line ~col:0
+          ~message:(Printf.sprintf "source does not parse: %s" msg)
+          ~hint:"fix the syntax error; detlint audits only what the compiler would accept"
+        :: kept
+  in
+  let suppressions =
+    List.map
+      (fun ((s : Pragma.t), used) ->
+        {
+          Report.rule = s.Pragma.rule;
+          file = s.Pragma.file;
+          line = s.Pragma.line;
+          reason = s.Pragma.reason;
+          used;
+        })
+      counts
+  in
+  (kept, suppressions)
+
+let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
+  if jobs < 1 then invalid_arg "Detlint.Runner.run: jobs must be >= 1";
+  match collect_files roots with
+  | Error _ as e -> e
+  | Ok files ->
+      let metrics = obs.Obs.metrics in
+      let trace = obs.Obs.trace in
+      let t_file = Obs.Metrics.timer metrics "detlint.file" in
+      let check path =
+        Obs.Span.span trace "detlint.file"
+          ~attrs:[ ("file", Flp_json.Str path) ]
+          (fun () ->
+            Obs.Metrics.time t_file (fun () ->
+                match Source.load path with
+                | Ok src -> check_source ~rules src
+                | Error msg ->
+                    ( [
+                        Finding.v ~rule:parse_error_rule ~severity:Lint.Severity.Error
+                          ~file:path ~line:1 ~col:0
+                          ~message:(Printf.sprintf "cannot read source: %s" msg)
+                          ~hint:"";
+                      ],
+                      [] )))
+      in
+      (* Per-file audits are independent; the pool's [map] keeps results in
+         input order, so the merged report is jobs-invariant even before the
+         canonical sort. *)
+      let results =
+        if jobs = 1 then List.map check files
+        else
+          Parallel.Pool.with_pool ~metrics ~jobs (fun pool ->
+              Array.to_list (Parallel.Pool.map pool check (Array.of_list files)))
+      in
+      let findings = List.concat_map fst results in
+      let suppressions = List.concat_map snd results in
+      List.iter
+        (fun (f : Finding.t) ->
+          Obs.Metrics.incr (Obs.Metrics.counter metrics ("detlint.findings." ^ f.Finding.rule)) 1)
+        findings;
+      Obs.Metrics.incr
+        (Obs.Metrics.counter metrics "detlint.suppressed")
+        (List.fold_left (fun acc (s : Report.suppression) -> acc + s.Report.used) 0 suppressions);
+      Ok
+        (Report.canonical
+           {
+             Report.roots;
+             files = List.length files;
+             rules_run = List.map (fun (r : Rule.t) -> r.Rule.name) rules;
+             findings;
+             suppressions;
+           })
+
+let exit_code report = if Report.error_count report > 0 then 1 else 0

@@ -1,0 +1,30 @@
+(** Scan driver: directory walk, per-file audit, jobs-invariant merge.
+
+    Files under the given roots are enumerated in sorted order, audited
+    independently (optionally over a {!Parallel.Pool}, which preserves
+    input order), and merged into one canonical {!Report.t} — so the report
+    is byte-identical at every [--jobs] level, the same guarantee the rules
+    themselves enforce on the rest of the tree. *)
+
+val collect_files : string list -> (string list, string) result
+(** [.ml] files under the roots (each a directory or a single file), sorted
+    within each root, deduplicated, dot- and underscore-prefixed names
+    (\[_build\]…) skipped.  [Error] when a root does not exist. *)
+
+val check_source :
+  ?rules:Rule.t list -> Source.t -> Finding.t list * Report.suppression list
+(** Audit one in-memory source: run the rules, apply its suppressions,
+    prepend an unsuppressible [parse-error] finding when the source does
+    not parse.  The test fixtures' entry point. *)
+
+val run :
+  ?obs:Obs.t ->
+  ?rules:Rule.t list ->
+  ?jobs:int ->
+  string list ->
+  (Report.t, string) result
+(** Audit every source under the roots.  [Error] only for usage problems
+    (missing root); source-level problems are findings. *)
+
+val exit_code : Report.t -> int
+(** 1 when any error-severity finding survived, else 0 — the CI gate. *)

@@ -1,0 +1,23 @@
+(** One OCaml source under audit: raw text plus its parsetree.
+
+    Parsing uses the installed compiler's own front-end
+    ([compiler-libs.common]'s {!Parse}), so detlint sees exactly the syntax
+    the build sees — no second grammar to drift.  The raw text is kept
+    alongside the AST because suppression pragmas live in comments, which
+    the parser discards. *)
+
+type t = {
+  path : string;  (** as given; echoed verbatim into findings *)
+  text : string;
+  ast : (Parsetree.structure, string * int) result;
+      (** [Error (message, line)] when the file does not parse *)
+}
+
+val of_string : path:string -> string -> t
+(** Parse an in-memory source — the test fixtures' entry point. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file; [Error] only for I/O failures (a file that does
+    not {e parse} still loads, with [ast = Error _]). *)
+
+val lines : t -> string list

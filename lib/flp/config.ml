@@ -164,7 +164,7 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
   let apply_schedule t schedule = List.fold_left apply t schedule
 
   let schedule_processes schedule =
-    List.sort_uniq compare (List.map (fun e -> e.dest) schedule)
+    List.sort_uniq Int.compare (List.map (fun e -> e.dest) schedule)
 
   let decisions t = Array.map P.output t.states
 

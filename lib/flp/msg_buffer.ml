@@ -13,7 +13,7 @@ module Make (M : MSG) = struct
     type t = int * M.t
 
     let compare (d1, m1) (d2, m2) =
-      let c = Stdlib.compare (d1 : int) d2 in
+      let c = Int.compare d1 d2 in
       if c <> 0 then c else M.compare m1 m2
   end
 
@@ -50,7 +50,7 @@ module Make (M : MSG) = struct
 
   let equal = Map.equal ( = )
 
-  let compare = Map.compare Stdlib.compare
+  let compare = Map.compare Int.compare
 
   let hash t =
     Map.fold (fun (d, m) c acc -> (acc * 31) + (d * 7) + (M.hash m * 13) + c) t 17

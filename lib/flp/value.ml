@@ -15,7 +15,7 @@ let of_int = function
 
 let equal a b = a = b
 
-let compare a b = Stdlib.compare (to_int a) (to_int b)
+let compare a b = Int.compare (to_int a) (to_int b)
 
 let flip = function Zero -> One | One -> Zero
 

@@ -30,6 +30,7 @@ module And_wait = struct
   let pp_state ppf st =
     Format.fprintf ppf "{x=%a sent=%b peer=%a}" Value.pp st.input st.sent pp_vopt st.peer
 
+  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -70,6 +71,7 @@ module Leader = struct
       (if st.leader then "leader " else "")
       Value.pp st.input st.sent pp_vopt st.heard
 
+  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -88,12 +90,15 @@ module Majority = struct
 
   let init ~pid:_ ~input = { input; sent = false; votes = [] }
 
+  let compare_vote (p1, v1) (p2, v2) =
+    match Int.compare p1 p2 with 0 -> Value.compare v1 v2 | c -> c
+
   let step ~pid st m =
     let st =
       match m with
       | Some (Vote (src, v)) ->
           if List.mem_assoc src st.votes then st
-          else { st with votes = List.sort compare ((src, v) :: st.votes) }
+          else { st with votes = List.sort compare_vote ((src, v) :: st.votes) }
       | None -> st
     in
     if st.sent then (st, [])
@@ -117,6 +122,7 @@ module Majority = struct
       (String.concat ";"
          (List.map (fun (p, v) -> Printf.sprintf "%d:%s" p (Value.to_string v)) st.votes))
 
+  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -153,6 +159,7 @@ module First_wins = struct
     Format.fprintf ppf "{x=%a sent=%b decided=%a}" Value.pp st.input st.sent pp_vopt
       st.decided
 
+  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -192,6 +199,21 @@ let benor_det ~cap : Protocol.t =
 
     let broadcast pid msg =
       List.filter_map (fun d -> if d = pid then None else Some (d, msg)) [ 0; 1; 2 ]
+
+    (* Field-by-field in declaration order, so the explicit order coincides
+       with the structural one the inbox was originally sorted by — reachable
+       configuration graphs stay bit-identical. *)
+    let compare_msg (a : msg) (b : msg) =
+      let rank = function Report -> 0 | Proposal -> 1 in
+      match Int.compare a.src b.src with
+      | 0 -> (
+          match Int.compare a.round b.round with
+          | 0 -> (
+              match Int.compare (rank a.kind) (rank b.kind) with
+              | 0 -> Option.compare Value.compare a.value b.value
+              | c -> c)
+          | c -> c)
+      | c -> c
 
     let of_kind st kind =
       List.filter (fun (m : msg) -> m.round = st.round && m.kind = kind) st.inbox
@@ -280,7 +302,7 @@ let benor_det ~cap : Protocol.t =
         match m with
         | Some msg ->
             if List.mem msg st.inbox then st
-            else { st with inbox = List.sort compare (msg :: st.inbox) }
+            else { st with inbox = List.sort compare_msg (msg :: st.inbox) }
         | None -> st
       in
       let st, sends = progress pid st [] in
@@ -296,8 +318,6 @@ let benor_det ~cap : Protocol.t =
       let phase = match st.phase with P1 -> "P1" | P2 -> "P2" | Halted -> "halt" in
       Format.fprintf ppf "{x=%a r=%d %s sent=%b prop=%a |inbox|=%d dec=%a}" Value.pp st.x
         st.round phase st.sent pp_vopt st.prop (List.length st.inbox) pp_vopt st.decided
-
-    let compare_msg = Stdlib.compare
 
     let hash_msg = Hashtbl.hash
 
@@ -386,6 +406,7 @@ let race ~cap : Protocol.t =
         (if st.halted then " halt" else "")
         pp_vopt st.decided
 
+    (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
     let compare_msg = Stdlib.compare
 
     let hash_msg = Hashtbl.hash
@@ -449,6 +470,7 @@ module Parity = struct
         Format.fprintf ppf "{gate %s dec=%a}" (if g.parity then "odd" else "even") pp_vopt
           g.decided
 
+  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash

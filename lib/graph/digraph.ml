@@ -82,7 +82,7 @@ let bfs_from t ~reverse start =
     acc := i :: !acc;
     List.iter push (neighbours i)
   done;
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let ancestors t k = bfs_from t ~reverse:true k
 
@@ -148,7 +148,7 @@ let sccs t =
                     comp := w :: !comp;
                     if w = v then break := true
               done;
-              components := List.sort compare !comp :: !components
+              components := List.sort Int.compare !comp :: !components
             end
           end
     done

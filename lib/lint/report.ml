@@ -22,6 +22,23 @@ type t = {
   findings : finding list;
 }
 
+(* Canonical finding order: rule name, then severity (worst first), then
+   message and witness as tie-breakers.  Rule-evaluation order is an
+   implementation detail of the walk, so both renderers sort before emitting
+   and the output is byte-identical regardless of rule scheduling. *)
+let compare_finding a b =
+  match String.compare a.rule b.rule with
+  | 0 -> (
+      match Severity.compare b.severity a.severity with
+      | 0 -> (
+          match String.compare a.message b.message with
+          | 0 -> Option.compare String.compare a.witness b.witness
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let canonical t = { t with findings = List.stable_sort compare_finding t.findings }
+
 let errors t =
   List.filter (fun f -> Severity.equal f.severity Severity.Error) t.findings
 
@@ -60,7 +77,9 @@ let pp ppf t =
     verdict t.n t.configs_explored
     (if t.complete then "" else ", budget exhausted")
     (List.length t.rules_run);
-  List.iter (fun f -> Format.fprintf ppf "@,%a" pp_finding f) t.findings;
+  List.iter
+    (fun f -> Format.fprintf ppf "@,%a" pp_finding f)
+    (canonical t).findings;
   Format.fprintf ppf "@]"
 
 let finding_to_json f =
@@ -80,7 +99,7 @@ let to_json t =
       ("configs_explored", Json.Int t.configs_explored);
       ("complete", Json.Bool t.complete);
       ("rules", Json.List (List.map (fun r -> Json.Str r) t.rules_run));
-      ("findings", Json.List (List.map finding_to_json t.findings));
+      ("findings", Json.List (List.map finding_to_json (canonical t).findings));
       ("errors", Json.Int (error_count t));
     ]
 

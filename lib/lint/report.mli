@@ -26,6 +26,16 @@ type t = {
   findings : finding list;
 }
 
+val compare_finding : finding -> finding -> int
+(** Canonical finding order: rule name, then severity (worst first), then
+    message and witness.  Explicit comparators throughout — no polymorphic
+    compare. *)
+
+val canonical : t -> t
+(** [t] with findings sorted by {!compare_finding}.  Both {!pp} and
+    {!to_json} emit in this order, so reports are byte-identical regardless
+    of the order rules happened to run in. *)
+
 val errors : t -> finding list
 (** Findings of [Error] severity. *)
 

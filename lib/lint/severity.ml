@@ -2,7 +2,7 @@ type t = Info | Warn | Error
 
 let rank = function Info -> 0 | Warn -> 1 | Error -> 2
 
-let compare a b = Stdlib.compare (rank a) (rank b)
+let compare a b = Int.compare (rank a) (rank b)
 
 let equal a b = rank a = rank b
 

@@ -7,6 +7,7 @@
 let last = Atomic.make neg_infinity
 
 let now () =
+  (* detlint: allow ambient-time -- Obs.Clock IS the sanctioned wall-clock entry point; it feeds instrumentation only, never simulation results *)
   let t = Unix.gettimeofday () in
   let rec clamp () =
     let prev = Atomic.get last in

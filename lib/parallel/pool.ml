@@ -6,6 +6,12 @@
    acquire/release around the pending-count handshake provides the
    happens-before edge that makes those writes visible to the caller. *)
 
+[@@@detlint.allow
+  "unguarded-shared-mutation -- every mutable field of [t] is written with \
+   [t.mutex] held or (create/shutdown's domain list) before workers exist / \
+   after they joined; worker-visible array writes are published by the \
+   pending-count handshake described in the header comment"]
+
 type t = {
   jobs : int;
   mutex : Mutex.t;

@@ -97,6 +97,7 @@ module Table = struct
 
   let items t =
     let a =
+      (* detlint: allow unordered-iteration -- the fold's bucket order never escapes: the array is sorted by the total key [id] on the next line *)
       Array.of_list (Hashtbl.fold (fun _ (it, _) acc -> it :: acc) t.entries [])
     in
     Array.sort (fun a b -> Int.compare a.id b.id) a;

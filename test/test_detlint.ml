@@ -1,0 +1,269 @@
+(* The detlint test bench: one inline fixture per rule (each tripping exactly
+   the intended rule and silenced by exactly its own pragma), the suppression
+   bookkeeping, and the self-audit that keeps this repository's own tree
+   detlint-clean at every --jobs level.
+
+   Pragma text inside fixture strings is assembled by concatenation so the
+   self-audit's raw-text scanner never mistakes a fixture literal for a real
+   suppression of this file. *)
+
+let allow = "(* detlint" ^ ": allow "
+
+let pragma rule = allow ^ rule ^ " -- fixture: intentionally silenced *)"
+
+let reasonless rule = allow ^ rule ^ " *)"
+
+let source lines = Detlint.Source.of_string ~path:"fixture.ml" (String.concat "\n" lines)
+
+let audit lines = Detlint.Runner.check_source (source lines)
+
+let rule_names (findings : Detlint.Finding.t list) =
+  List.map (fun (f : Detlint.Finding.t) -> f.Detlint.Finding.rule) findings
+
+(* Each fixture is (rule id, lines, 0-based index of the violating line); the
+   pragma variants below splice a comment pragma directly above that line. *)
+let fixtures =
+  [
+    ( "unordered-iteration",
+      [ "let f h = Hashtbl.iter (fun k v -> ignore (k + v)) h" ],
+      0 );
+    ("poly-compare", [ "let xs = List.sort compare [ 3; 1; 2 ]" ], 0);
+    ("physical-equality", [ "let f x y = x == y" ], 0);
+    ("ambient-time", [ "let t () = Unix.gettimeofday ()" ], 0);
+    ("ambient-random", [ "let r () = Random.int 10" ], 0);
+    ("marshal", [ "let f x = Marshal.to_string x []" ], 0);
+    ( "unguarded-shared-mutation",
+      [
+        "let counter = ref 0";
+        "let go () =";
+        "  let d = Domain.spawn (fun () -> ignore !counter) in";
+        "  counter := 1;";
+        "  Domain.join d";
+      ],
+      3 );
+  ]
+
+let splice_at idx line lines =
+  List.concat (List.mapi (fun i l -> if i = idx then [ line; l ] else [ l ]) lines)
+
+let test_each_rule_fires () =
+  List.iter
+    (fun (rule, lines, _) ->
+      let findings, _ = audit lines in
+      Alcotest.(check (list string))
+        (rule ^ " fires exactly once") [ rule ] (rule_names findings);
+      let f = List.hd findings in
+      let catalogue =
+        match Detlint.Rule.find rule with
+        | Some r -> r
+        | None -> Alcotest.failf "%s missing from catalogue" rule
+      in
+      Alcotest.(check string)
+        (rule ^ " severity")
+        (Lint.Severity.to_string catalogue.Detlint.Rule.severity)
+        (Lint.Severity.to_string f.Detlint.Finding.severity);
+      Alcotest.(check bool) (rule ^ " hint present") true (f.Detlint.Finding.hint <> ""))
+    fixtures
+
+let test_own_pragma_silences () =
+  List.iter
+    (fun (rule, lines, idx) ->
+      let findings, sups = audit (splice_at idx (pragma rule) lines) in
+      Alcotest.(check (list string)) (rule ^ " silenced") [] (rule_names findings);
+      match sups with
+      | [ s ] ->
+          Alcotest.(check string) (rule ^ " suppression rule") rule s.Detlint.Report.rule;
+          Alcotest.(check int) (rule ^ " suppression used") 1 s.Detlint.Report.used;
+          Alcotest.(check bool)
+            (rule ^ " suppression reason") true (s.Detlint.Report.reason <> "")
+      | sups ->
+          Alcotest.failf "%s: expected one suppression, got %d" rule (List.length sups))
+    fixtures
+
+(* A pragma naming a *different* (valid) rule must not silence the finding:
+   suppressions are per-rule, never blanket. *)
+let test_other_pragma_is_inert () =
+  let n = List.length fixtures in
+  List.iteri
+    (fun i (rule, lines, idx) ->
+      let other, _, _ = List.nth fixtures ((i + 1) mod n) in
+      let findings, sups = audit (splice_at idx (pragma other) lines) in
+      Alcotest.(check (list string))
+        (rule ^ " survives " ^ other ^ " pragma")
+        [ rule ] (rule_names findings);
+      List.iter
+        (fun (s : Detlint.Report.suppression) ->
+          Alcotest.(check int) (other ^ " pragma unused") 0 s.Detlint.Report.used)
+        sups)
+    fixtures
+
+let test_bad_suppression () =
+  (* No reason: inert and itself an error. *)
+  let findings, _ = audit [ reasonless "marshal"; "let x = 1" ] in
+  Alcotest.(check (list string)) "reasonless" [ "bad-suppression" ] (rule_names findings);
+  (* Unknown rule id, with a reason: still inert, still an error. *)
+  let findings, _ = audit [ allow ^ "no-such-rule -- because *)"; "let x = 1" ] in
+  Alcotest.(check (list string)) "unknown rule" [ "bad-suppression" ] (rule_names findings);
+  (* Inertness: the hazard the reasonless pragma points at is NOT silenced. *)
+  let findings, _ = audit [ reasonless "marshal"; "let f x = Marshal.to_string x []" ] in
+  Alcotest.(check (list string))
+    "reasonless pragma suppresses nothing"
+    [ "bad-suppression"; "marshal" ]
+    (List.sort String.compare (rule_names findings))
+
+let test_attribute_suppressions () =
+  (* Expression attribute: covers exactly the attributed node. *)
+  let findings, sups =
+    audit
+      [
+        "let t () = (Unix.gettimeofday () [@detlint.allow \"ambient-time -- \
+         fixture: attribute form\"])";
+      ]
+  in
+  Alcotest.(check (list string)) "expr attribute silences" [] (rule_names findings);
+  Alcotest.(check int) "expr attribute used" 1 (List.hd sups).Detlint.Report.used;
+  (* Floating attribute: covers the rest of the file. *)
+  let findings, _ =
+    audit
+      [
+        "[@@@detlint.allow \"ambient-random -- fixture: module form\"]";
+        "let r () = Random.int 10";
+        "let s () = Random.bool ()";
+      ]
+  in
+  Alcotest.(check (list string)) "floating attribute silences all" [] (rule_names findings)
+
+let test_parse_error_unsuppressible () =
+  let findings, _ = audit [ pragma "poly-compare"; "let = =" ] in
+  Alcotest.(check bool)
+    "parse-error survives" true
+    (List.mem "parse-error" (rule_names findings));
+  List.iter
+    (fun (f : Detlint.Finding.t) ->
+      if f.Detlint.Finding.rule = "parse-error" then
+        Alcotest.(check string)
+          "parse-error severity" "error"
+          (Lint.Severity.to_string f.Detlint.Finding.severity))
+    findings
+
+(* Under [dune runtest] the working directory is [_build/default/test]; under
+   [dune exec] from the checkout root it is the root itself.  Resolve
+   root-relative paths against both. *)
+let locate p =
+  if Sys.file_exists p then p
+  else
+    let up = Filename.concat ".." p in
+    if Sys.file_exists up then up else p
+
+(* Satellite of the zoo poly-compare suppressions: the message types those
+   pragmas vouch for must stay float-free, or the structural order the
+   comparators rely on stops being total.  Walks every type declaration in
+   the vouched-for files and rejects any [float] / [Float.t] constructor. *)
+let float_free_files =
+  List.map locate [ "lib/flp/zoo.ml"; "lib/flp/value.ml"; "test/test_lint.ml" ]
+
+let test_msg_types_float_free () =
+  List.iter
+    (fun path ->
+      match Detlint.Source.load path with
+      | Error msg -> Alcotest.failf "cannot load %s: %s" path msg
+      | Ok src -> (
+          match src.Detlint.Source.ast with
+          | Error (msg, _) -> Alcotest.failf "%s does not parse: %s" path msg
+          | Ok ast ->
+              let hits = ref [] in
+              let in_decl = ref false in
+              let typ self (t : Parsetree.core_type) =
+                (if !in_decl then
+                   match t.Parsetree.ptyp_desc with
+                   | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, _)
+                   | Ptyp_constr
+                       ({ txt = Longident.Ldot (Longident.Lident "Float", "t"); _ }, _)
+                     ->
+                       hits := t.Parsetree.ptyp_loc.Location.loc_start.Lexing.pos_lnum :: !hits
+                   | _ -> ());
+                Ast_iterator.default_iterator.typ self t
+              in
+              let type_declaration self decl =
+                in_decl := true;
+                Ast_iterator.default_iterator.type_declaration self decl;
+                in_decl := false
+              in
+              let it = { Ast_iterator.default_iterator with typ; type_declaration } in
+              it.structure it ast;
+              Alcotest.(check (list int))
+                (path ^ " type declarations are float-free")
+                [] (List.rev !hits)))
+    float_free_files
+
+(* The acceptance gate, from inside the test suite: this repository's own
+   tree is detlint-clean, every suppression carries a written reason, and
+   the report is byte-identical at --jobs 1 and --jobs 4. *)
+let self_audit_roots = List.map locate [ "lib"; "bin"; "test" ]
+
+let run_self_audit ~jobs =
+  match Detlint.Runner.run ~jobs self_audit_roots with
+  | Ok report -> report
+  | Error msg -> Alcotest.failf "self-audit failed to run: %s" msg
+
+let test_self_audit_clean () =
+  let report = run_self_audit ~jobs:1 in
+  Alcotest.(check bool) "scanned files" true (report.Detlint.Report.files > 0);
+  List.iter
+    (fun (f : Detlint.Finding.t) ->
+      Alcotest.failf "tree not detlint-clean: %s:%d %s — %s" f.Detlint.Finding.file
+        f.Detlint.Finding.line f.Detlint.Finding.rule f.Detlint.Finding.message)
+    report.Detlint.Report.findings;
+  Alcotest.(check int) "exit code" 0 (Detlint.Runner.exit_code report);
+  Alcotest.(check bool)
+    "suppressions present" true
+    (report.Detlint.Report.suppressions <> []);
+  List.iter
+    (fun (s : Detlint.Report.suppression) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s:%d suppression has a written reason" s.Detlint.Report.file
+           s.Detlint.Report.line)
+        true
+        (s.Detlint.Report.reason <> ""))
+    report.Detlint.Report.suppressions
+
+let test_self_audit_jobs_invariant () =
+  let r1 = run_self_audit ~jobs:1 in
+  let r4 = run_self_audit ~jobs:4 in
+  Alcotest.(check string)
+    "JSON byte-identical across --jobs"
+    (Flp_json.to_string (Detlint.Report.to_json r1))
+    (Flp_json.to_string (Detlint.Report.to_json r4));
+  Alcotest.(check string)
+    "rendering byte-identical across --jobs"
+    (Format.asprintf "%a" Detlint.Report.pp r1)
+    (Format.asprintf "%a" Detlint.Report.pp r4)
+
+let () =
+  Alcotest.run "detlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "each fixture trips exactly its rule" `Quick
+            test_each_rule_fires;
+          Alcotest.test_case "own pragma silences" `Quick test_own_pragma_silences;
+          Alcotest.test_case "other pragma is inert" `Quick test_other_pragma_is_inert;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "bad suppressions are errors" `Quick test_bad_suppression;
+          Alcotest.test_case "attribute forms" `Quick test_attribute_suppressions;
+          Alcotest.test_case "parse error unsuppressible" `Quick
+            test_parse_error_unsuppressible;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "msg types float-free" `Quick test_msg_types_float_free;
+        ] );
+      ( "self-audit",
+        [
+          Alcotest.test_case "repo tree clean" `Quick test_self_audit_clean;
+          Alcotest.test_case "jobs-invariant report" `Quick
+            test_self_audit_jobs_invariant;
+        ] );
+    ]

@@ -21,10 +21,15 @@ let test_bounds () =
   Alcotest.check_raises "range" (Invalid_argument "Digraph: node out of range") (fun () ->
       Digraph.add_edge g 0 2)
 
+let compare_edge (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let compare_int_list = List.compare Int.compare
+
 let test_of_edges_roundtrip () =
   let edges = [ (0, 1); (1, 2); (2, 0); (0, 3) ] in
   let g = Digraph.of_edges 4 edges in
-  Alcotest.(check (list (pair int int))) "edges" (List.sort compare edges) (Digraph.edges g)
+  Alcotest.(check (list (pair int int))) "edges" (List.sort compare_edge edges) (Digraph.edges g)
 
 let test_closure_chain () =
   let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
@@ -64,12 +69,12 @@ let test_initial_clique_whole () =
 
 let test_sccs_known () =
   let g = Digraph.of_edges 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 3); (2, 3); (4, 5) ] in
-  let comps = List.sort compare (Digraph.sccs g) in
+  let comps = List.sort compare_int_list (Digraph.sccs g) in
   Alcotest.(check (list (list int))) "components" [ [ 0; 1; 2 ]; [ 3; 4 ]; [ 5 ] ] comps
 
 let test_source_sccs () =
   let g = Digraph.of_edges 5 [ (0, 1); (1, 0); (1, 2); (3, 2); (2, 4) ] in
-  let sources = List.sort compare (Digraph.source_sccs g) in
+  let sources = List.sort compare_int_list (Digraph.source_sccs g) in
   Alcotest.(check (list (list int))) "sources" [ [ 0; 1 ]; [ 3 ] ] sources
 
 let random_graph rng n p =
@@ -113,12 +118,12 @@ let prop_initial_clique_is_union_of_source_sccs =
       let c = Digraph.transitive_closure g in
       let clique = Digraph.initial_clique ~closure:c in
       let sources = List.concat (Digraph.source_sccs c) in
-      List.sort compare clique = List.sort compare sources)
+      List.sort Int.compare clique = List.sort Int.compare sources)
 
 let prop_sccs_partition =
   QCheck.Test.make ~name:"SCCs partition the nodes" ~count:200 arbitrary_graph (fun g ->
       let nodes = List.concat (Digraph.sccs g) in
-      List.sort compare nodes = List.init (Digraph.size g) Fun.id)
+      List.sort Int.compare nodes = List.init (Digraph.size g) Fun.id)
 
 let prop_copy_independent =
   QCheck.Test.make ~name:"copy does not alias" ~count:100 arbitrary_graph (fun g ->

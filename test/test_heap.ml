@@ -122,7 +122,7 @@ let prop_heapsort =
       let h = Sim.Heap.create () in
       List.iteri (fun i t -> Sim.Heap.push h ~time:t i) times;
       let popped = List.init (List.length times) (fun _ -> fst (Option.get (Sim.Heap.pop h))) in
-      popped = List.sort compare times)
+      popped = List.sort Float.compare times)
 
 let prop_stable =
   QCheck.Test.make ~name:"ties pop in insertion order" ~count:200

@@ -29,6 +29,7 @@ module Output_mutator = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a steps=%d}" Value.pp st.x st.steps
 
+  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -61,6 +62,7 @@ module Hash_incoherent = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a noise=%d}" Value.pp st.x st.noise
 
+  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -92,6 +94,7 @@ module Wild_sender = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a sent=%b}" Value.pp st.x st.sent
 
+  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -126,6 +129,7 @@ module Flaky = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a mark=%b}" Value.pp st.x st.mark
 
+  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
   let compare_msg = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
@@ -144,7 +148,7 @@ let lint p = Lint.Runner.lint ~opts p
 let error_rules report =
   Lint.Report.errors report
   |> List.map (fun (f : Lint.Report.finding) -> f.Lint.Report.rule)
-  |> List.sort_uniq compare
+  |> List.sort_uniq String.compare
 
 let test_zoo_clean () =
   List.iter

@@ -136,7 +136,7 @@ let test_shuffle_permutation () =
   let a = Array.init 20 Fun.id in
   Sim.Rng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
 
 let test_shuffle_moves () =

@@ -16,7 +16,8 @@ let test_all_vectors () =
   let vs = S.all_vectors 3 in
   Alcotest.(check int) "2^3" 8 (List.length vs);
   Alcotest.(check (array int)) "first all zero" [| 0; 0; 0 |] (List.hd vs);
-  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare vs))
+  let compare_vec a b = List.compare Int.compare (Array.to_list a) (Array.to_list b) in
+  Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare_vec vs))
 
 let test_random_inputs_binary () =
   let rng = Sim.Rng.create 3 in
@@ -60,7 +61,7 @@ let test_random_initially_dead_distinct_in_range () =
        so distinctness = the count matching the number of Some cells,
        checked above; also verify no double-marking is even representable *)
     Alcotest.(check int) "distinct pids" 4
-      (List.length (List.sort_uniq compare (List.map fst !dead)))
+      (List.length (List.sort_uniq Int.compare (List.map fst !dead)))
   done
 
 let test_random_initially_dead_deterministic () =
