@@ -12,7 +12,12 @@ let list_protocols () =
 let pp_inputs ppf inputs =
   Array.iter (fun v -> Format.fprintf ppf "%a" Flp.Value.pp v) inputs
 
-let run_checks name max_configs trials jobs dot_file obs =
+let pp_reduction ppf = function
+  | `None -> Format.pp_print_string ppf "none"
+  | `Persistent -> Format.pp_print_string ppf "persistent"
+  | `Sleep -> Format.pp_print_string ppf "sleep"
+
+let run_checks name max_configs trials jobs reduction dot_file obs =
   match Flp.Zoo.find name with
   | None ->
       Format.eprintf "unknown protocol %S; try --list@." name;
@@ -20,8 +25,9 @@ let run_checks name max_configs trials jobs dot_file obs =
   | Some protocol ->
       let module P = (val protocol : Flp.Protocol.S) in
       let module A = Flp.Analysis.Make (P) in
-      Format.printf "== %s (n = %d processes, max %d configurations, %d domains) ==@.@."
-        P.name P.n max_configs jobs;
+      Format.printf
+        "== %s (n = %d processes, max %d configurations, %d domains, por %a) ==@.@."
+        P.name P.n max_configs jobs pp_reduction reduction;
       let mixed =
         Array.init P.n (fun i -> if i = P.n - 1 then Flp.Value.One else Flp.Value.Zero)
       in
@@ -49,7 +55,33 @@ let run_checks name max_configs trials jobs dot_file obs =
           match cls.valence with
           | Some v -> Format.printf "  inputs %a: %a@." pp_inputs cls.inputs A.Valency.pp_valence v
           | None -> Format.printf "  inputs %a: state space overflow@." pp_inputs cls.inputs)
-        (A.Lemma.check_lemma2 ~jobs ~obs ~max_configs ());
+        (A.Lemma.check_lemma2 ~jobs ~obs ~reduction ~max_configs ());
+      (* Reduced-vs-full comparison on the mixed-input graph.  Only the
+         root-based checkers run reduced; Lemma 3 and the trichotomy below
+         quantify over interior structure and always explore unreduced. *)
+      (match reduction with
+      | `None -> ()
+      | (`Persistent | `Sleep) as red ->
+          let full = A.Explore.explore ~jobs ~obs ~max_configs (A.C.initial mixed) in
+          let g = A.Explore.explore ~jobs ~obs ~reduction:red ~max_configs (A.C.initial mixed) in
+          Format.printf "@.Partial-order reduction (inputs %a, mode %a):@." pp_inputs
+            mixed pp_reduction red;
+          Format.printf "  configurations:  %d full -> %d reduced (%.2fx)@."
+            (A.Explore.size full) (A.Explore.size g)
+            (float_of_int (A.Explore.size full) /. float_of_int (max 1 (A.Explore.size g)));
+          Format.printf "  edges:           %d full -> %d reduced@."
+            (A.Explore.edge_count full) (A.Explore.edge_count g);
+          Format.printf "  pruned events:   %d (sleep hits %d, proviso expansions %d)@."
+            (A.Explore.pruned_count g) (A.Explore.sleep_hit_count g)
+            (A.Explore.proviso_count g);
+          if A.Explore.complete full && A.Explore.complete g then begin
+            let vf = (A.Valency.classify full).(A.Explore.root full) in
+            let vr = (A.Valency.classify g).(A.Explore.root g) in
+            Format.printf "  root valence:    full %a, reduced %a — %s@."
+              A.Valency.pp_valence vf A.Valency.pp_valence vr
+              (if A.Valency.equal_valence vf vr then "agree"
+               else "DISAGREE (this would be a bug!)")
+          end);
       (* Lemma 3 on the mixed-input run, when it is bivalent *)
       (match A.Valency.of_initial ~jobs ~obs ~max_configs mixed with
       | A.Valency.Bivalent ->
@@ -114,6 +146,17 @@ let jobs_arg =
        & info [ "j"; "jobs" ] ~docv:"N"
            ~doc:"Worker domains for state-space exploration (deterministic at any value).")
 
+let por_arg =
+  let modes = [ ("none", `None); ("persistent", `Persistent); ("sleep", `Sleep) ] in
+  Arg.(
+    value
+    & opt (enum modes) `None
+    & info [ "por" ] ~docv:"MODE"
+        ~doc:
+          "Partial-order reduction for the root-based checks (Lemma 2, the \
+           reduced-vs-full comparison): $(b,none), $(b,persistent) or $(b,sleep).  \
+           Lemma 3 and the trichotomy always explore unreduced.")
+
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available protocols and exit.")
 
 let dot_arg =
@@ -135,7 +178,7 @@ let timings_arg =
        & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
 
 let cmd =
-  let run list name max_configs trials jobs dot_file metrics_file trace_file timings =
+  let run list name max_configs trials jobs por dot_file metrics_file trace_file timings =
     if jobs < 1 then begin
       Format.eprintf "flp_check: --jobs must be at least 1 (got %d)@." jobs;
       exit 2
@@ -143,12 +186,12 @@ let cmd =
     if list then list_protocols ()
     else
       Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
-          run_checks name max_configs trials jobs dot_file obs)
+          run_checks name max_configs trials jobs por dot_file obs)
   in
   Cmd.v
     (Cmd.info "flp_check" ~doc:"Exhaustively check the FLP lemmas on a finite protocol")
     Term.(
       const run $ list_arg $ protocol_arg $ max_configs_arg $ trials_arg $ jobs_arg
-      $ dot_arg $ metrics_arg $ trace_arg $ timings_arg)
+      $ por_arg $ dot_arg $ metrics_arg $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,7 @@ let parse_policies specs =
 
 (* One arm per (protocol, policy) pair.  [n]/[ones] size the sim-native
    protocols; zoo protocols fix their own [n]. *)
-let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps =
+let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps ~reduction =
   let mk_cfg ~n ~inputs ~seed =
     { (Sim.Engine.default_cfg ~n ~inputs ~seed) with Sim.Engine.delays; max_steps }
   in
@@ -87,7 +87,7 @@ let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps =
                       (fun ~seed ->
                         let c = cfg ~seed in
                         let policy, _stats =
-                          Ch.policy ~max_configs ~cache ~inputs:vinputs ()
+                          Ch.policy ~max_configs ~reduction ~cache ~inputs:vinputs ()
                         in
                         let policy =
                           match budget with
@@ -100,7 +100,7 @@ let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps =
             policies)
   | other -> die "unknown protocol %S (ben-or | ben-or-det | zoo:NAME)" other
 
-let run protocols policies n ones delay_spec seeds jobs max_steps out obs =
+let run protocols policies n ones delay_spec seeds jobs max_steps reduction out obs =
   let protocols = if protocols = [] then [ "ben-or" ] else protocols in
   let policy_strs =
     if policies = [] then [ "oblivious"; "starve:0"; "rr-killer" ] else policies
@@ -111,7 +111,7 @@ let run protocols policies n ones delay_spec seeds jobs max_steps out obs =
   in
   let arms =
     List.concat_map
-      (fun pname -> arms_for ~pname ~policies ~n ~ones ~delays ~max_steps)
+      (fun pname -> arms_for ~pname ~policies ~n ~ones ~delays ~max_steps ~reduction)
       protocols
   in
   let seeds = List.init seeds (fun i -> i + 1) in
@@ -171,6 +171,17 @@ let jobs_arg = Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Wor
 let max_steps_arg =
   Arg.(value & opt int 200_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Event budget per trial.")
 
+let por_arg =
+  let modes = [ ("none", `None); ("persistent", `Persistent); ("sleep", `Sleep) ] in
+  Arg.(
+    value
+    & opt (enum modes) `None
+    & info [ "por" ] ~docv:"MODE"
+        ~doc:
+          "Partial-order reduction for the chaser's valence-table exploration: \
+           $(b,none), $(b,persistent) or $(b,sleep).  A smaller oracle table, \
+           but a weaker chase (interior valences may under-approximate).")
+
 let out_arg =
   Arg.(value & opt string "BENCH_adversary.json"
        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON output path.")
@@ -183,15 +194,16 @@ let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
 
 let cmd =
-  let main protocols policies n ones delays seeds jobs max_steps out metrics_file timings =
+  let main protocols policies n ones delays seeds jobs max_steps por out metrics_file timings =
     Obs.with_reporting ?metrics_file ~timings (fun obs ->
-        run protocols policies n ones delays seeds jobs max_steps out obs)
+        run protocols policies n ones delays seeds jobs max_steps por out obs)
   in
   Cmd.v
     (Cmd.info "flp_torture"
        ~doc:"Torture consensus protocols under adversarial schedulers")
     Term.(
       const main $ protocols_arg $ policies_arg $ n_arg $ ones_arg $ delay_arg
-      $ seeds_arg $ jobs_arg $ max_steps_arg $ out_arg $ metrics_arg $ timings_arg)
+      $ seeds_arg $ jobs_arg $ max_steps_arg $ por_arg $ out_arg $ metrics_arg
+      $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -28,6 +28,10 @@ module Or_wait = struct
 
   let output st = Option.map (Value.logor st.input) st.peer
 
+  (* Optional footprint annotation ([sent] is monotone, so this is a sound
+     hereditary bound); [None] would also be fine, just unreduced. *)
+  let may_send = Some (fun ~pid st d -> (not st.sent) && d = 1 - pid)
+
   let equal_state = ( = )
 
   let hash_state = Hashtbl.hash

@@ -7,6 +7,7 @@ type id =
   | Marshal
   | Unguarded_shared_mutation
   | Bad_suppression
+  | Unused_suppression
 
 type t = {
   id : id;
@@ -164,6 +165,23 @@ let bad_suppression =
       ^ ": allow <rule-id> -- why it is safe *)";
   }
 
+let unused_suppression =
+  {
+    id = Unused_suppression;
+    name = "unused-suppression";
+    severity = Lint.Severity.Warn;
+    synopsis = "valid suppression that silenced no finding";
+    doc =
+      "A suppression whose rule was run against its file yet silenced zero \
+       findings is dead weight: the hazard it once excused is gone (or moved \
+       out of its two-line scope), and a stale allow is exactly where the \
+       next real hazard hides unnoticed.  Reported as a warning so cleanup \
+       is visible without failing the gate; only valid suppressions whose \
+       target rule was actually selected for the run are considered, so \
+       running a rule subset does not flag the others' pragmas.";
+    hint = "delete the stale pragma, or move it next to the line it excuses";
+  }
+
 let all =
   [
     unordered_iteration;
@@ -174,6 +192,7 @@ let all =
     marshal;
     unguarded_shared_mutation;
     bad_suppression;
+    unused_suppression;
   ]
 
 let find name = List.find_opt (fun r -> r.name = name) all

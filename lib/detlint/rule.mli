@@ -15,6 +15,7 @@ type id =
   | Marshal
   | Unguarded_shared_mutation
   | Bad_suppression
+  | Unused_suppression
 
 type t = {
   id : id;
@@ -40,6 +41,12 @@ val marshal : t
 val unguarded_shared_mutation : t
 
 val bad_suppression : t
+
+val unused_suppression : t
+(** [Warn]-severity: a valid suppression whose target rule ran on its file
+    yet silenced nothing.  Computed by the runner from {!Pragma.apply} use
+    counts (it needs the whole file's findings, not a single AST scan), so
+    {!Rules.check} treats it as a no-op. *)
 
 val all : t list
 (** Catalogue order (also the [--list-rules] order). *)

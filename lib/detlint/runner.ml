@@ -37,9 +37,36 @@ let collect_files roots =
              end)
            files)
 
-let check_source ?rules (src : Source.t) =
-  let findings = Rules.check_all ?rules src in
+let check_source ?(rules = Rule.all) (src : Source.t) =
+  let findings = Rules.check_all ~rules src in
   let kept, counts = Pragma.apply (Pragma.collect src) findings in
+  (* A valid suppression whose target rule ran here yet silenced nothing is
+     stale.  Emitted after Pragma.apply, so the warning itself cannot be
+     suppressed away — deleting the dead pragma is the only fix. *)
+  let selected r = List.exists (fun (x : Rule.t) -> x.Rule.id = r) rules in
+  let parsed = match src.Source.ast with Ok _ -> true | Error _ -> false in
+  let kept =
+    (* An unparsed source hides its findings from every AST rule, so a zero
+       use count proves nothing there. *)
+    if not (selected Rule.Unused_suppression && parsed) then kept
+    else
+      kept
+      @ List.filter_map
+          (fun ((s : Pragma.t), used) ->
+            if
+              Pragma.valid s && used = 0
+              && List.exists (fun (x : Rule.t) -> x.Rule.name = s.Pragma.rule) rules
+            then
+              let rule = Rule.unused_suppression in
+              Some
+                (Finding.v ~rule:rule.Rule.name ~severity:rule.Rule.severity
+                   ~file:s.Pragma.file ~line:s.Pragma.line ~col:0
+                   ~message:
+                     (Printf.sprintf "suppression of %S silenced no finding" s.Pragma.rule)
+                   ~hint:rule.Rule.hint)
+            else None)
+          counts
+  in
   let kept =
     match src.Source.ast with
     | Ok _ -> kept

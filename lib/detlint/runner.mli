@@ -14,8 +14,10 @@ val collect_files : string list -> (string list, string) result
 val check_source :
   ?rules:Rule.t list -> Source.t -> Finding.t list * Report.suppression list
 (** Audit one in-memory source: run the rules, apply its suppressions,
-    prepend an unsuppressible [parse-error] finding when the source does
-    not parse.  The test fixtures' entry point. *)
+    append an unsuppressible [Warn] {!Rule.unused_suppression} finding for
+    every valid suppression whose target rule was selected yet silenced
+    nothing, and prepend an unsuppressible [parse-error] finding when the
+    source does not parse.  The test fixtures' entry point. *)
 
 val run :
   ?obs:Obs.t ->

@@ -10,6 +10,32 @@ module Make (P : Protocol.S) = struct
       let hash = C.hash
     end)
 
+    type reduction = [ `None | `Persistent | `Sleep ]
+
+    let reduction_name = function
+      | `None -> "none"
+      | `Persistent -> "persistent"
+      | `Sleep -> "sleep"
+
+    (* Lemma 1 as a pruning oracle: the model-agnostic analyzer only needs to
+       know which process an event steps, whether it consumes a message, and
+       the protocol's (hereditary) may-send over-approximation. *)
+    module I = Indep.Make (struct
+      type config = C.t
+
+      type event = C.event
+
+      let n = P.n
+
+      let pid (e : C.event) = e.dest
+
+      let is_delivery (e : C.event) = Option.is_some e.msg
+
+      let may_send c ~src ~dst = C.may_send_to c src dst
+
+      let annotated = C.footprints_annotated
+    end)
+
     type graph = {
       mutable configs : C.t array;
       mutable count : int;
@@ -19,6 +45,11 @@ module Make (P : Protocol.S) = struct
       mutable expanded_flags : Bytes.t;
       mutable complete_flag : bool;
       mutable edges : int;
+      reduction : reduction;
+      mutable sleeps : C.event list array;  (* stored sleep set per node; [`Sleep] only *)
+      mutable pruned : int;  (* enabled events never explored (persistence) *)
+      mutable sleep_hits : int;  (* enabled events delegated to a sibling branch *)
+      mutable proviso_hits : int;  (* cycle-proviso full expansions *)
     }
 
     let ensure_capacity g needed =
@@ -33,6 +64,7 @@ module Make (P : Protocol.S) = struct
         g.configs <- grow_arr g.configs g.configs.(0);
         g.succs <- grow_arr g.succs [];
         g.parents <- grow_arr g.parents (-1, None);
+        g.sleeps <- grow_arr g.sleeps [];
         let nb = Bytes.make ncap '\000' in
         Bytes.blit g.expanded_flags 0 nb 0 g.count;
         g.expanded_flags <- nb
@@ -51,7 +83,7 @@ module Make (P : Protocol.S) = struct
           g.count <- g.count + 1;
           Some id
 
-    let make_graph root_cfg =
+    let make_graph ~reduction root_cfg =
       {
         configs = Array.make 64 root_cfg;
         count = 0;
@@ -61,95 +93,212 @@ module Make (P : Protocol.S) = struct
         expanded_flags = Bytes.make 64 '\000';
         complete_flag = true;
         edges = 0;
+        reduction;
+        sleeps = Array.make 64 [];
+        pruned = 0;
+        sleep_hits = 0;
+        proviso_hits = 0;
       }
+
+    (* A work item: a node plus the sleep snapshot it was enqueued with.
+       With [`None] and [`Persistent] the snapshot is always empty. *)
+    type entry = { node : int; sleep : C.event list }
+
+    (* The pure half of one entry's expansion: everything that depends only
+       on the entry's configuration and sleep snapshot.  In frontier mode
+       this runs on the worker pool; nothing here may read the visited set.
+
+       [chosen] lists the events to explore, each with its successor
+       configuration and the sleep set to hand that successor ("the branches
+       tried before you, minus anything your own process touches" — distinct
+       pids commute by Lemma 1, so those branches stay covered).  [deferred]
+       keeps the rest of the enabled events so the cycle proviso can expand
+       them without recomputing the plan. *)
+    type plan = {
+      chosen : (C.event * C.t * C.event list) list;
+      deferred : C.event list;  (* live (non-self-loop) \ chosen, canonical order *)
+      ample_pruned : int;  (* enabled events outside the ample set *)
+      slept : int;  (* ample events delegated by the sleep snapshot *)
+      partial : bool;  (* chosen is a strict subset of the enabled events *)
+    }
+
+    let compute_plan ~filter ~reduction cfg (sleep : C.event list) =
+      let enabled = List.filter filter (C.events cfg) in
+      match reduction with
+      | `None ->
+          {
+            chosen = List.map (fun e -> (e, C.apply cfg e, [])) enabled;
+            deferred = [];
+            ample_pruned = 0;
+            slept = 0;
+            partial = false;
+          }
+      | (`Persistent | `Sleep) as red ->
+          (* Null steps that change nothing ([s·t = s]) contribute nothing to
+             reachability; dropping them up front keeps the ample seed from
+             being wasted on a quiesced process.  Deliveries always at least
+             shrink the buffer, so only null events need the check. *)
+          let live =
+            List.filter
+              (fun (e : C.event) ->
+                Option.is_some e.msg || not (C.equal (C.apply cfg e) cfg))
+              enabled
+          in
+          let d = I.ample cfg live in
+          let amp = d.I.events in
+          let chosen_evs, slept =
+            match red with
+            | `Persistent -> (amp, 0)
+            | `Sleep ->
+                let in_sleep e = List.exists (C.event_equal e) sleep in
+                let keep = List.filter (fun e -> not (in_sleep e)) amp in
+                (keep, List.length amp - List.length keep)
+          in
+          let chosen =
+            let rec go acc before = function
+              | [] -> List.rev acc
+              | t :: more ->
+                  let z =
+                    match red with
+                    | `Persistent -> []
+                    | `Sleep ->
+                        List.filter
+                          (fun (s : C.event) -> s.dest <> (t : C.event).dest)
+                          (sleep @ List.rev before)
+                  in
+                  go ((t, C.apply cfg t, z) :: acc) (t :: before) more
+            in
+            go [] [] chosen_evs
+          in
+          let in_chosen e = List.exists (C.event_equal e) chosen_evs in
+          let deferred = List.filter (fun e -> not (in_chosen e)) live in
+          {
+            chosen;
+            deferred;
+            ample_pruned = List.length enabled - List.length amp;
+            slept;
+            partial = deferred <> [];
+          }
+
+    (* The sequential, state-mutating half.  Every visited-set-dependent
+       decision — duplicate detection, truncation, the cycle proviso, sleep
+       intersection and requeueing — happens here, in queue/frontier order,
+       which keeps the graph bit-identical across jobs levels and between
+       the sequential and frontier drivers.
+
+       Expansions are cumulative: a [`Sleep] node revisited with a strictly
+       smaller sleep set is requeued and re-expanded, skipping edges already
+       recorded, so its final successor list covers the ample set of its
+       smallest sleep snapshot.  Pruned events produce neither edges nor
+       [edges]-counter increments — only applied events count. *)
+    let expand g ~max_configs ~push ~on_intern ~on_dup ~on_trunc u plan =
+      let first = Bytes.get g.expanded_flags u = '\000' in
+      let existing = g.succs.(u) in
+      let have e = List.exists (fun (e0, _) -> C.event_equal e0 e) existing in
+      let fresh = ref false in
+      let added = ref [] in
+      let do_event (e, cfg', z) =
+        if not (have e) then begin
+          match Tbl.find_opt g.ids cfg' with
+          | Some v ->
+              added := (e, v) :: !added;
+              g.edges <- g.edges + 1;
+              on_dup ();
+              if g.reduction = `Sleep then begin
+                (* Delegation to a sibling branch is only valid if every
+                   path into [v] promises it: intersect, and if the promise
+                   strictly shrank, re-expand with the smaller set. *)
+                let stored = g.sleeps.(v) in
+                let inter =
+                  List.filter (fun s -> List.exists (C.event_equal s) z) stored
+                in
+                if List.length inter < List.length stored then begin
+                  g.sleeps.(v) <- inter;
+                  push { node = v; sleep = inter }
+                end
+              end
+          | None ->
+              if g.count >= max_configs then begin
+                g.complete_flag <- false;
+                on_trunc ()
+              end
+              else begin
+                match intern g cfg' ~parent:(u, Some e) with
+                | Some v ->
+                    added := (e, v) :: !added;
+                    g.edges <- g.edges + 1;
+                    fresh := true;
+                    on_intern ();
+                    if g.reduction = `Sleep then g.sleeps.(v) <- z;
+                    push { node = v; sleep = z }
+                | None -> ()
+              end
+        end
+      in
+      List.iter do_event plan.chosen;
+      if first && plan.partial && plan.chosen <> [] && not !fresh then begin
+        (* BFS cycle proviso (Bošnački–Holzmann): a partial expansion whose
+           successors are all already visited could defer its pruned events
+           around a cycle forever (the ignoring problem).  Expand fully; the
+           deferred successors are computed here, sequentially — pure,
+           deterministic, and rare. *)
+        g.proviso_hits <- g.proviso_hits + 1;
+        let cfg = g.configs.(u) in
+        List.iter (fun e -> do_event (e, C.apply cfg e, [])) plan.deferred
+      end
+      else if first then begin
+        g.pruned <- g.pruned + plan.ample_pruned;
+        g.sleep_hits <- g.sleep_hits + plan.slept
+      end;
+      g.succs.(u) <- existing @ List.rev !added;
+      Bytes.set g.expanded_flags u '\001'
 
     let explore_sequential ~filter ~max_configs g =
       let queue = Queue.create () in
-      Queue.push 0 queue;
+      Queue.push { node = 0; sleep = [] } queue;
+      let nop () = () in
       while not (Queue.is_empty queue) do
-        let u = Queue.pop queue in
-        let cfg = g.configs.(u) in
-        let out = ref [] in
-        List.iter
-          (fun e ->
-            if filter e then begin
-              let cfg' = C.apply cfg e in
-              match Tbl.find_opt g.ids cfg' with
-              | Some v ->
-                  out := (e, v) :: !out;
-                  g.edges <- g.edges + 1
-              | None ->
-                  if g.count >= max_configs then g.complete_flag <- false
-                  else begin
-                    match intern g cfg' ~parent:(u, Some e) with
-                    | Some v ->
-                        out := (e, v) :: !out;
-                        g.edges <- g.edges + 1;
-                        Queue.push v queue
-                    | None -> ()
-                  end
-            end)
-          (C.events cfg);
-        g.succs.(u) <- List.rev !out;
-        Bytes.set g.expanded_flags u '\001'
+        let { node = u; sleep } = Queue.pop queue in
+        let plan = compute_plan ~filter ~reduction:g.reduction g.configs.(u) sleep in
+        expand g ~max_configs
+          ~push:(fun ent -> Queue.push ent queue)
+          ~on_intern:nop ~on_dup:nop ~on_trunc:nop u plan
       done
 
-    (* Frontier-batched BFS: the successor computations ([C.events] +
-       [C.apply]) — the hot, pure part — run on a domain pool, one slice of
-       the frontier per worker; the resulting [(event, config')] lists are
-       then interned {e sequentially, in frontier order}.  The sequential BFS
-       pops its FIFO queue in exactly that order and appends children behind
-       every already-queued node, so the interleaving of [intern] calls — and
-       with it every graph ID, the [succs] ordering, the [parents] witnesses,
-       and the truncation point at [max_configs] — is bit-identical to
-       {!explore_sequential}. *)
+    (* Frontier-batched BFS: the plan computations ([C.events] + [C.apply] +
+       ample selection) — the hot, pure part — run on a domain pool, one
+       slice of the frontier per worker; the plans are then applied
+       {e sequentially, in frontier order} by {!expand}.  The sequential BFS
+       pops its FIFO queue in exactly that order and appends children (and
+       sleep requeues) behind every already-queued node, so the interleaving
+       of [intern] calls — and with it every graph ID, the [succs] ordering,
+       the [parents] witnesses, and the truncation point at [max_configs] —
+       is bit-identical to {!explore_sequential}. *)
     let explore_frontier ?pool_metrics ?wave_hook ~filter ~jobs ~max_configs g =
       Parallel.Pool.with_pool ?metrics:pool_metrics ~jobs (fun pool ->
-          let frontier = ref [ 0 ] in
+          let frontier = ref [ { node = 0; sleep = [] } ] in
           let wave = ref 0 in
           while !frontier <> [] do
             let w0 = if wave_hook = None then 0.0 else Obs.Clock.now () in
             let batch = Array.of_list !frontier in
-            let cfgs = Array.map (fun u -> g.configs.(u)) batch in
-            let expansions =
+            let tasks = Array.map (fun ent -> (g.configs.(ent.node), ent.sleep)) batch in
+            let plans =
               Parallel.Pool.map pool
-                (fun cfg ->
-                  List.filter_map
-                    (fun e -> if filter e then Some (e, C.apply cfg e) else None)
-                    (C.events cfg))
-                cfgs
+                (fun (cfg, sleep) -> compute_plan ~filter ~reduction:g.reduction cfg sleep)
+                tasks
             in
             let next = ref [] in
             let interned = ref 0 in
             let dups = ref 0 in
             let truncated = ref 0 in
             Array.iteri
-              (fun i u ->
-                let out = ref [] in
-                List.iter
-                  (fun (e, cfg') ->
-                    match Tbl.find_opt g.ids cfg' with
-                    | Some v ->
-                        out := (e, v) :: !out;
-                        g.edges <- g.edges + 1;
-                        incr dups
-                    | None ->
-                        if g.count >= max_configs then begin
-                          g.complete_flag <- false;
-                          incr truncated
-                        end
-                        else begin
-                          match intern g cfg' ~parent:(u, Some e) with
-                          | Some v ->
-                              out := (e, v) :: !out;
-                              g.edges <- g.edges + 1;
-                              incr interned;
-                              next := v :: !next
-                          | None -> ()
-                        end)
-                  expansions.(i);
-                g.succs.(u) <- List.rev !out;
-                Bytes.set g.expanded_flags u '\001')
+              (fun i ent ->
+                expand g ~max_configs
+                  ~push:(fun e -> next := e :: !next)
+                  ~on_intern:(fun () -> incr interned)
+                  ~on_dup:(fun () -> incr dups)
+                  ~on_trunc:(fun () -> incr truncated)
+                  ent.node plans.(i))
               batch;
             (match wave_hook with
             | None -> ()
@@ -161,11 +310,11 @@ module Make (P : Protocol.S) = struct
             frontier := List.rev !next
           done)
 
-    let explore ?(filter = fun _ -> true) ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs
-        root_cfg =
+    let explore ?(filter = fun _ -> true) ?(jobs = 1) ?(obs = Obs.disabled)
+        ?(reduction = `None) ~max_configs root_cfg =
       if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
       if jobs < 1 then invalid_arg "Explore.explore: jobs must be >= 1";
-      let g = make_graph root_cfg in
+      let g = make_graph ~reduction root_cfg in
       ignore (intern g root_cfg ~parent:(-1, None));
       if not (Obs.enabled obs) then begin
         if jobs = 1 then explore_sequential ~filter ~max_configs g
@@ -211,11 +360,21 @@ module Make (P : Protocol.S) = struct
         let t0 = Obs.Clock.now () in
         Obs.Span.span trace "explore"
           ~attrs:
-            [ ("jobs", Flp_json.Int jobs); ("max_configs", Flp_json.Int max_configs) ]
+            [
+              ("jobs", Flp_json.Int jobs);
+              ("max_configs", Flp_json.Int max_configs);
+              ("reduction", Flp_json.Str (reduction_name reduction));
+            ]
           (fun () -> explore_frontier ~pool_metrics:m ~wave_hook ~filter ~jobs ~max_configs g);
         let dur = Obs.Clock.elapsed t0 in
         Obs.Metrics.add_seconds t_explore dur;
         Obs.Metrics.incr c_edges g.edges;
+        (match reduction with
+        | `None -> ()
+        | `Persistent | `Sleep ->
+            Obs.Metrics.incr (Obs.Metrics.counter m "explore.por.pruned") g.pruned;
+            Obs.Metrics.incr (Obs.Metrics.counter m "explore.por.sleep_hits") g.sleep_hits;
+            Obs.Metrics.incr (Obs.Metrics.counter m "explore.por.proviso") g.proviso_hits);
         if dur > 0.0 then
           Obs.Metrics.fgauge_set rate (float_of_int g.count /. dur)
       end;
@@ -236,6 +395,14 @@ module Make (P : Protocol.S) = struct
     let expanded g id = Bytes.get g.expanded_flags id <> '\000'
 
     let edge_count g = g.edges
+
+    let reduction g = g.reduction
+
+    let pruned_count g = g.pruned
+
+    let sleep_hit_count g = g.sleep_hits
+
+    let proviso_count g = g.proviso_hits
 
     let path_to g id =
       let rec go acc id =
@@ -300,8 +467,9 @@ module Make (P : Protocol.S) = struct
           | _ -> Bivalent)
         masks
 
-    let of_initial ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs inputs =
-      let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
+    let of_initial ?(jobs = 1) ?(obs = Obs.disabled) ?(reduction = `None) ~max_configs
+        inputs =
+      let g = Explore.explore ~jobs ~obs ~reduction ~max_configs (C.initial inputs) in
       (classify g).(0)
   end
 
@@ -394,23 +562,26 @@ module Make (P : Protocol.S) = struct
           Array.init P.n (fun pid ->
               if bits land (1 lsl pid) <> 0 then Value.One else Value.Zero))
 
-    let check_lemma2 ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
+    let check_lemma2 ?(jobs = 1) ?(obs = Obs.disabled) ?(reduction = `None) ~max_configs
+        () =
       List.map
         (fun inputs ->
           let valence =
-            try Some (Valency.of_initial ~jobs ~obs ~max_configs inputs)
+            try Some (Valency.of_initial ~jobs ~obs ~reduction ~max_configs inputs)
             with Valency.Incomplete -> None
           in
           { inputs; valence })
         (all_inputs ())
 
-    let bivalent_initials ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
-      check_lemma2 ~jobs ~obs ~max_configs ()
+    let bivalent_initials ?(jobs = 1) ?(obs = Obs.disabled) ?(reduction = `None)
+        ~max_configs () =
+      check_lemma2 ~jobs ~obs ~reduction ~max_configs ()
       |> List.filter_map (fun cls ->
              match cls.valence with Some Valency.Bivalent -> Some cls.inputs | _ -> None)
 
-    let adjacent_opposite_pairs ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
-      let classes = check_lemma2 ~jobs ~obs ~max_configs () in
+    let adjacent_opposite_pairs ?(jobs = 1) ?(obs = Obs.disabled) ?(reduction = `None)
+        ~max_configs () =
+      let classes = check_lemma2 ~jobs ~obs ~reduction ~max_configs () in
       let valence_of inputs =
         List.find_map
           (fun cls -> if cls.inputs = inputs then cls.valence else None)
@@ -615,13 +786,14 @@ module Make (P : Protocol.S) = struct
       exhaustive : bool;
     }
 
-    let check_partial_correctness ?(jobs = 1) ?(obs = Obs.disabled) ~max_configs () =
+    let check_partial_correctness ?(jobs = 1) ?(obs = Obs.disabled) ?(reduction = `None)
+        ~max_configs () =
       let conflict = ref None in
       let values = ref [] in
       let exhaustive = ref true in
       List.iter
         (fun inputs ->
-          let g = Explore.explore ~jobs ~obs ~max_configs (C.initial inputs) in
+          let g = Explore.explore ~jobs ~obs ~reduction ~max_configs (C.initial inputs) in
           if not (Explore.complete g) then exhaustive := false;
           for id = 0 to Explore.size g - 1 do
             let dv = C.decision_values (Explore.config g id) in

@@ -29,10 +29,52 @@ module Make (P : Protocol.S) : sig
     type graph
     (** Reachable configuration graph from a root, possibly truncated. *)
 
+    type reduction = [ `None | `Persistent | `Sleep ]
+    (** Partial-order reduction mode, powered by the [Indep] static
+        independence analyzer over the protocol's declared
+        {!Protocol.S.may_send} footprints (Lemma 1 turned into a pruning
+        oracle):
+
+        - [`None]: explore every enabled event (the default);
+        - [`Persistent]: at each configuration explore only a persistent set
+          of events — all enabled events of a process group no outside
+          process can ever send into — plus a BFS cycle proviso
+          (Bošnački–Holzmann: a partial expansion all of whose successors
+          were already visited is expanded fully) to prevent the ignoring
+          problem;
+        - [`Sleep]: [`Persistent] plus sleep sets, which additionally skip
+          events whose exploration is already delegated to a sibling branch
+          (sleep sets are intersected on re-visits and the node re-expanded
+          when they shrink).
+
+        Decisions are write-once, so "value [v] is decided somewhere" is a
+        stable predicate; persistent-set theory then guarantees a reduced
+        exploration preserves, {e from the root}, the reachable
+        decided-value set and hence the root's valence
+        ({!Valency.classify}[(g).(0)]) and the verdicts of the root-based
+        checkers ([check_lemma2], [check_partial_correctness]).  Interior
+        nodes of a reduced graph may classify with fewer reachable values
+        than the full graph; analyses that quantify over interior structure
+        (Lemma 3, blocking runs, fair cycles, the adversary) therefore keep
+        their own unreduced explorations.  Reduced modes also drop null
+        events that are exact self-loops ([s·e = s] contributes nothing to
+        reachability), both from exploration and from ample-seed scoring, so
+        a quiesced process never anchors the ample set.  For a protocol
+        without [may_send] annotations every mode degrades soundly to
+        [`None] (modulo the dropped self-loops).
+
+        Reduction composes with [filter] (the filtered system is itself a
+        transition system) and with [max_configs] truncation, and preserves
+        the bit-identical-across-[jobs] guarantee: ample selection and
+        successor computation are pure per (configuration, sleep snapshot),
+        and every visited-set-dependent decision happens at sequential
+        intern time in frontier order. *)
+
     val explore :
       ?filter:(C.event -> bool) ->
       ?jobs:int ->
       ?obs:Obs.t ->
+      ?reduction:reduction ->
       max_configs:int ->
       C.t ->
       graph
@@ -50,16 +92,24 @@ module Make (P : Protocol.S) : sig
         is purely a throughput knob.  [jobs:1] runs the plain sequential
         code path.  Raises [Invalid_argument] when [jobs < 1].
 
+        [reduction] (default [`None]) selects the partial-order reduction
+        mode; see {!type:reduction}.  Pruned events contribute neither edges
+        nor [explore.edges] increments.
+
         [obs] (default {!Obs.disabled}) instruments the exploration: counters
         [explore.waves]/[explore.configs]/[explore.edges]/[explore.dedup_hits]/
         [explore.truncated], the per-wave frontier-size histogram
         [explore.wave_size], the [explore.time] timer, the derived
         [explore.configs_per_sec] gauge, plus the pool's [pool.*] metrics,
         and — when tracing — an [explore] span with one [explore.wave] event
-        per BFS wave.  An enabled [obs] routes even [jobs:1] through the
-        frontier explorer so wave records exist at every jobs level and all
-        structural metrics are identical across jobs values; the disabled
-        default keeps the uninstrumented code paths. *)
+        per BFS wave.  Under a reduction mode it additionally records
+        [explore.por.pruned] (enabled events never applied),
+        [explore.por.sleep_hits] (events delegated via sleep sets) and
+        [explore.por.proviso] (cycle-proviso full expansions).  An enabled
+        [obs] routes even [jobs:1] through the frontier explorer so wave
+        records exist at every jobs level and all structural metrics are
+        identical across jobs values; the disabled default keeps the
+        uninstrumented code paths. *)
 
     val complete : graph -> bool
 
@@ -78,6 +128,21 @@ module Make (P : Protocol.S) : sig
     val expanded : graph -> int -> bool
 
     val edge_count : graph -> int
+    (** Applied events only; events pruned by a reduction mode are not
+        counted. *)
+
+    val reduction : graph -> reduction
+    (** The reduction mode the graph was explored under. *)
+
+    val pruned_count : graph -> int
+    (** Enabled events never applied thanks to persistent-set pruning. *)
+
+    val sleep_hit_count : graph -> int
+    (** Enabled events skipped because a sleep set delegated them to a
+        sibling branch ([`Sleep] only). *)
+
+    val proviso_count : graph -> int
+    (** Full expansions forced by the BFS cycle proviso. *)
 
     val path_to : graph -> int -> C.event list
     (** A shortest schedule from the root to the given node. *)
@@ -105,9 +170,17 @@ module Make (P : Protocol.S) : sig
     (** Valence of every configuration, by fixpoint propagation of reachable
         decision values.  Requires a complete graph. *)
 
-    val of_initial : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> Value.t array -> valence
+    val of_initial :
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      ?reduction:Explore.reduction ->
+      max_configs:int ->
+      Value.t array ->
+      valence
     (** Convenience: explore from the given initial configuration and return
-        its valence.  [jobs] is forwarded to {!Explore.explore}. *)
+        its valence.  [jobs] and [reduction] are forwarded to
+        {!Explore.explore}; the root's valence is preserved under every
+        reduction mode (see {!Explore.type-reduction}). *)
   end
 
   val dot : ?valences:Valency.valence array -> Explore.graph -> string
@@ -144,17 +217,30 @@ module Make (P : Protocol.S) : sig
       valence : Valency.valence option;  (** [None] if exploration overflowed *)
     }
 
-    val check_lemma2 : ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> initial_class list
+    val check_lemma2 :
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      ?reduction:Explore.reduction ->
+      max_configs:int ->
+      unit ->
+      initial_class list
     (** Classify all [2^n] initial configurations.  [jobs] and [obs] are
         forwarded to every underlying exploration (here and in every checker
-        below). *)
+        below).  [reduction] is sound here: only root valences are read, and
+        those are preserved by every reduction mode. *)
 
     val bivalent_initials :
-      ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> Value.t array list
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      ?reduction:Explore.reduction ->
+      max_configs:int ->
+      unit ->
+      Value.t array list
 
     val adjacent_opposite_pairs :
       ?jobs:int ->
       ?obs:Obs.t ->
+      ?reduction:Explore.reduction ->
       max_configs:int ->
       unit ->
       (Value.t array * Value.t array * int) list
@@ -232,7 +318,17 @@ module Make (P : Protocol.S) : sig
     }
 
     val check_partial_correctness :
-      ?jobs:int -> ?obs:Obs.t -> max_configs:int -> unit -> correctness
+      ?jobs:int ->
+      ?obs:Obs.t ->
+      ?reduction:Explore.reduction ->
+      max_configs:int ->
+      unit ->
+      correctness
+    (** [reduction] is sound here: conflicting decisions and reachable
+        decision values are stable predicates, preserved from each initial
+        configuration by every reduction mode.  (Lemma 3, blocking-run and
+        fair-cycle search quantify over interior graph structure and
+        therefore always explore unreduced.) *)
 
     val find_blocking_run :
       ?jobs:int ->

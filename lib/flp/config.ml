@@ -41,6 +41,10 @@ module type S = sig
 
   val schedule_processes : event list -> int list
 
+  val may_send_to : t -> int -> int -> bool
+
+  val footprints_annotated : bool
+
   val decisions : t -> Value.t option array
 
   val decision_values : t -> Value.t list
@@ -165,6 +169,15 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
 
   let schedule_processes schedule =
     List.sort_uniq Int.compare (List.map (fun e -> e.dest) schedule)
+
+  let may_send_to t src dst =
+    check_dest src;
+    check_dest dst;
+    match P.may_send with
+    | None -> true
+    | Some f -> f ~pid:src t.states.(src) dst
+
+  let footprints_annotated = Option.is_some P.may_send
 
   let decisions t = Array.map P.output t.states
 

@@ -75,6 +75,17 @@ module type S = sig
   (** Distinct processes taking steps in a schedule (for Lemma 1's
       disjointness hypothesis). *)
 
+  val may_send_to : t -> int -> int -> bool
+  (** [may_send_to c src dst] evaluates the protocol's {!Protocol.S.may_send}
+      footprint annotation on [src]'s current internal state — [true] when
+      the protocol is unannotated (conservative default).  Out-of-range pids
+      are rejected with [Invalid_argument]. *)
+
+  val footprints_annotated : bool
+  (** Whether the protocol declares a {!Protocol.S.may_send} footprint; when
+      [false], [may_send_to] is constantly [true] and no independence-based
+      reduction is possible. *)
+
   val decisions : t -> Value.t option array
   (** Output register of each process. *)
 

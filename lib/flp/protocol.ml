@@ -36,6 +36,25 @@ module type S = sig
   (** Contents of the output register.  [Config.apply] enforces that once
       this is [Some v] it never changes (write-once). *)
 
+  val may_send : (pid:int -> state -> int -> bool) option
+  (** Declarative footprint annotation, consumed by the [Indep] static
+      independence analyzer.  [may_send ~pid st d] over-approximates whether
+      process [pid], from internal state [st] or {e any state reachable from
+      it} (by any sequence of deliveries including null steps), can still
+      send a message to process [d].  Two obligations:
+
+      - {b soundness}: whenever [step ~pid st m = (_, sends)] with [(d, _)]
+        in [sends], then [may_send ~pid st d = true];
+      - {b hereditariness}: [may_send ~pid st d = false] implies
+        [may_send ~pid st' d = false] for every successor state [st'] of
+        [st] — once a channel is declared closed it stays closed.
+
+      [None] is the conservative "touches everything" default: the analyzer
+      then assumes every process may send to every other, which yields no
+      reduction but is always sound.  The [Lint] footprint-soundness rule
+      cross-checks declared annotations against the reachable graph, so a
+      lying annotation fails CI instead of corrupting reduced exploration. *)
+
   val equal_state : state -> state -> bool
 
   val hash_state : state -> int

@@ -77,6 +77,9 @@ let generate spec ~seed : Protocol.t =
       else if st = decide1 then Some Value.One
       else None
 
+    (* Random transition tables admit no useful static channel bound. *)
+    let may_send = None
+
     let equal_state = Int.equal
 
     let hash_state = Hashtbl.hash

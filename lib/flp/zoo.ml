@@ -23,6 +23,9 @@ module And_wait = struct
 
   let output st = Option.map (Value.logand st.input) st.peer
 
+  (* [sent] is monotone (never reset), so this is hereditary. *)
+  let may_send = Some (fun ~pid st d -> (not st.sent) && d = 1 - pid)
+
   let equal_state = ( = )
 
   let hash_state = Hashtbl.hash
@@ -61,6 +64,9 @@ module Leader = struct
 
   let output st =
     if st.leader then if st.sent then Some st.input else None else st.heard
+
+  (* Only the (immutable) leader sends, once: [sent] is monotone. *)
+  let may_send = Some (fun ~pid:_ st d -> st.leader && (not st.sent) && (d = 1 || d = 2))
 
   let equal_state = ( = )
 
@@ -113,6 +119,9 @@ module Majority = struct
       Some (Value.majority (st.input :: List.map snd st.votes))
     else None
 
+  (* One broadcast per process, gated by the monotone [sent] flag. *)
+  let may_send = Some (fun ~pid st d -> (not st.sent) && d <> pid)
+
   let equal_state = ( = )
 
   let hash_state = Hashtbl.hash
@@ -150,6 +159,9 @@ module First_wins = struct
     if st.sent then (st, []) else ({ st with sent = true }, [ (1 - pid, Vote st.input) ])
 
   let output st = st.decided
+
+  (* [sent] is monotone (never reset), so this is hereditary. *)
+  let may_send = Some (fun ~pid st d -> (not st.sent) && d = 1 - pid)
 
   let equal_state = ( = )
 
@@ -310,6 +322,13 @@ let benor_det ~cap : Protocol.t =
 
     let output st = st.decided
 
+    (* [Halted] is absorbing ([progress] returns immediately, [gc] keeps it),
+       so "still running" is hereditary; a running process broadcasts to both
+       peers each round. *)
+    let may_send =
+      Some
+        (fun ~pid st d -> (match st.phase with Halted -> false | P1 | P2 -> true) && d <> pid)
+
     let equal_state = ( = )
 
     let hash_state = Hashtbl.hash
@@ -396,6 +415,10 @@ let race ~cap : Protocol.t =
 
     let output st = st.decided
 
+    (* [halted] is monotone, so "still running" is hereditary; a running
+       process broadcasts its vote to both peers each round. *)
+    let may_send = Some (fun ~pid st d -> (not st.halted) && d <> pid)
+
     let equal_state = ( = )
 
     let hash_state = Hashtbl.hash
@@ -413,6 +436,66 @@ let race ~cap : Protocol.t =
 
     let pp_msg ppf (m : msg) =
       Format.fprintf ppf "vote:%d:r%d:%a" m.src m.round Value.pp m.value
+  end)
+
+(* A relay chain with local chatter: p0 hands its input to p1, p1 forwards it
+   to p2, and every process additionally ticks a bounded local counter on each
+   step.  The counters are pure local noise — independent of everything — so
+   the full explorer pays for all their interleavings while the communication
+   topology is a strict chain (0 → 1 → 2, never backwards).  This is the
+   partial-order-reduction showcase: persistent sets serialise the chain and
+   collapse the counter product to nearly a single line. *)
+let pipeline ~ticks : Protocol.t =
+  if ticks < 0 then invalid_arg "Zoo.pipeline: ticks must be >= 0";
+  (module struct
+    type msg = Token of Value.t
+
+    type state = { x : Value.t; ticks : int; sent : bool; got : Value.t option }
+
+    let name = Printf.sprintf "pipeline:%d" ticks
+
+    let n = 3
+
+    let init ~pid:_ ~input = { x = input; ticks = 0; sent = false; got = None }
+
+    let step ~pid st m =
+      let st =
+        match m with
+        | Some (Token v) -> if st.got = None then { st with got = Some v } else st
+        | None -> st
+      in
+      let st = { st with ticks = min ticks (st.ticks + 1) } in
+      if pid = 0 && not st.sent then
+        (* p0 decides its own input at the moment it hands it down the chain *)
+        ({ st with sent = true; got = Some st.x }, [ (1, Token st.x) ])
+      else
+        match (pid, st.sent, st.got) with
+        | 1, false, Some v -> ({ st with sent = true }, [ (2, Token v) ])
+        | _ -> (st, [])
+
+    let output st = st.got
+
+    (* Strict chain, one message per hop, gated by the monotone [sent] flag:
+       p0 only ever sends to p1, p1 only to p2, p2 never sends. *)
+    let may_send =
+      Some
+        (fun ~pid st d ->
+          (not st.sent) && ((pid = 0 && d = 1) || (pid = 1 && d = 2)))
+
+    let equal_state = ( = )
+
+    let hash_state = Hashtbl.hash
+
+    let pp_state ppf st =
+      Format.fprintf ppf "{x=%a t=%d sent=%b got=%a}" Value.pp st.x st.ticks st.sent
+        pp_vopt st.got
+
+    (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
+    let compare_msg = Stdlib.compare
+
+    let hash_msg = Hashtbl.hash
+
+    let pp_msg ppf (Token v) = Format.fprintf ppf "token:%a" Value.pp v
   end)
 
 (* The pure adversary-mode protocol: decisions stay reachable forever, yet a
@@ -459,6 +542,11 @@ module Parity = struct
   let output = function
     | Pumper { decided; _ } -> decided
     | Gate { decided; _ } -> decided
+
+  (* The role constructor never changes: the pumper (p0) only ever sends to
+     the gate (p1) and vice versa, forever. *)
+  let may_send =
+    Some (fun ~pid:_ st d -> match st with Pumper _ -> d = 1 | Gate _ -> d = 0)
 
   let equal_state = ( = )
 
@@ -553,6 +641,14 @@ let all =
         };
     };
     {
+      name = "pipeline:3";
+      protocol = pipeline ~ticks:3;
+      expected =
+        { partially_correct = true; has_bivalent_initial = false; blocks_with_one_fault = true;
+          fair_cycle_no_faults = false;
+        };
+    };
+    {
       name = "race:2";
       protocol = race ~cap:2;
       expected =
@@ -578,4 +674,7 @@ let find name_wanted =
       | Some _ | None -> (
           match parse_cap ~prefix:"benor-det:" name_wanted with
           | Some cap when cap >= 1 -> Some (benor_det ~cap)
-          | Some _ | None -> None))
+          | Some _ | None -> (
+              match parse_cap ~prefix:"pipeline:" name_wanted with
+              | Some ticks when ticks >= 0 -> Some (pipeline ~ticks)
+              | Some _ | None -> None)))

@@ -46,6 +46,19 @@ val race : cap:int -> Protocol.t
     protocol is partially correct.  This is the zoo's main target for the
     Lemma 3 checker and the Theorem 1 adversary. *)
 
+val pipeline : ticks:int -> Protocol.t
+(** A relay chain with local chatter (n = 3): p0 hands its input to p1 (and
+    decides it), p1 forwards it to p2, each hop deciding the relayed value,
+    while {e every} process also ticks a private counter bounded by [ticks]
+    on each step.  The counters are pure local noise, so the full explorer
+    pays for all [(ticks + 1)³]-ish interleavings of independent steps while
+    the communication topology is a strict chain (0 → 1 → 2, never
+    backwards).  This is the partial-order-reduction showcase: the
+    {!Analysis.Make.Explore} persistent-set modes serialise the chain and
+    explore close to a single line through the counter product.  Partially
+    correct, univalent initials (p0's input decides everything), blocks when
+    p0 dies.  The zoo entry uses [ticks = 3]. *)
+
 val parity : Protocol.t
 (** The pure adversary-mode specimen (n = 2): process 0 pumps its vote at
     process 1 (re-sending on every acknowledgement) while a ping/pong token

@@ -1,0 +1,89 @@
+(* Static independence analysis: Lemma 1 turned into a pruning oracle.
+   See indep.mli for the footprint/persistence story. *)
+
+module type SYSTEM = sig
+  type config
+
+  type event
+
+  val n : int
+
+  val pid : event -> int
+
+  val is_delivery : event -> bool
+
+  val may_send : config -> src:int -> dst:int -> bool
+
+  val annotated : bool
+end
+
+module Make (S : SYSTEM) = struct
+  let independent c e1 e2 =
+    let p1 = S.pid e1 and p2 = S.pid e2 in
+    p1 <> p2
+    && (not (S.is_delivery e2 && S.may_send c ~src:p1 ~dst:p2))
+    && not (S.is_delivery e1 && S.may_send c ~src:p2 ~dst:p1)
+
+  type decision = { events : S.event list; reduced : bool; group : bool array }
+
+  (* Close [q] under inbound may-send edges: any process that may still send
+     into the group could enable a new delivery for a group member, so it
+     must join.  Fixpoint over at most n rounds. *)
+  let close_group c q =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for r = 0 to S.n - 1 do
+        if not q.(r) then
+          for d = 0 to S.n - 1 do
+            if q.(d) && (not q.(r)) && S.may_send c ~src:r ~dst:d then begin
+              q.(r) <- true;
+              changed := true
+            end
+          done
+      done
+    done
+
+  let group_size q = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 q
+
+  let full enabled =
+    { events = enabled; reduced = false; group = Array.make S.n true }
+
+  let ample c enabled =
+    if (not S.annotated) || S.n <= 1 then full enabled
+    else begin
+      (* Per-pid enabled-event counts, to score candidate groups without
+         re-walking the list. *)
+      let per_pid = Array.make S.n 0 in
+      let total = ref 0 in
+      List.iter
+        (fun e ->
+          per_pid.(S.pid e) <- per_pid.(S.pid e) + 1;
+          incr total)
+        enabled;
+      let best = ref None in
+      for seed = 0 to S.n - 1 do
+        if per_pid.(seed) > 0 then begin
+          let q = Array.make S.n false in
+          q.(seed) <- true;
+          close_group c q;
+          if group_size q < S.n then begin
+            let count = ref 0 in
+            for p = 0 to S.n - 1 do
+              if q.(p) then count := !count + per_pid.(p)
+            done;
+            (* the group always contains its seed, which has enabled events,
+               so [count] > 0: C0 (nonemptiness) holds by construction *)
+            match !best with
+            | Some (best_count, _) when best_count <= !count -> ()
+            | _ -> best := Some (!count, q)
+          end
+        end
+      done;
+      match !best with
+      | Some (count, q) when count < !total ->
+          let events = List.filter (fun e -> q.(S.pid e)) enabled in
+          { events; reduced = true; group = q }
+      | _ -> full enabled
+    end
+end

@@ -1,0 +1,95 @@
+(** Static independence analysis and persistent-set selection.
+
+    This library turns Lemma 1 of the FLP paper — schedules over disjoint
+    process sets commute — into an exploration-time pruning oracle.  It is
+    deliberately model-agnostic: the functor works over any {!SYSTEM} that
+    can name the process an event steps, say whether the event consumes a
+    message, and over-approximate who may still send to whom.  The [flp]
+    library instantiates it with its own configurations; nothing here
+    depends on [flp], which keeps the dependency arrow pointing one way.
+
+    {2 Footprints and independence}
+
+    The {e footprint} of an event [e = (p, m)] is everything the step can
+    touch: process [p]'s internal state and output register, the buffer key
+    [(p, m)] it removes, and the buffer keys [(d, _)] of the messages it may
+    send.  Two events are {e statically independent} when their footprints
+    are disjoint:
+
+    - they step distinct processes (disjoint states and registers), and
+    - neither may send to the other's process while the other consumes a
+      message (disjoint removed/added buffer keys).
+
+    Disjoint footprints are exactly Lemma 1's hypothesis for the singleton
+    schedules [{e}] and [{e'}], so independent events commute from any
+    configuration where both are applicable — and neither can enable or
+    disable the other.  The [Lint] footprint-soundness rule cross-checks
+    this statically-derived relation against dynamic commutation on the
+    reachable graph, so a lying [may_send] annotation is a CI failure, not a
+    silently wrong reduction.
+
+    {2 Persistent sets}
+
+    [ample] returns, per configuration, a {e persistent} subset of the
+    enabled events: a set [T] of all enabled events of a process group [Q]
+    such that no process outside [Q] can ever (hereditarily) send a message
+    into [Q].  Any execution that leaves [T] untouched consists of events
+    independent from every member of [T], so exploring only [T] at this
+    configuration preserves reachability of every stable predicate — in the
+    FLP model, of every write-once decision value (see the soundness
+    argument in DESIGN.md).  Cycle-proviso bookkeeping is the explorer's
+    job, not this library's. *)
+
+module type SYSTEM = sig
+  type config
+
+  type event
+
+  val n : int
+  (** Number of processes; events step pids in [\[0, n)]. *)
+
+  val pid : event -> int
+  (** The process the event steps. *)
+
+  val is_delivery : event -> bool
+  (** Whether the event consumes a message (false for null steps). *)
+
+  val may_send : config -> src:int -> dst:int -> bool
+  (** Hereditary over-approximation: [false] promises that [src], from its
+      current state {e and every state it can ever reach}, never sends a
+      message to [dst].  Must be [true] whenever in doubt; a conservative
+      system answers [true] everywhere. *)
+
+  val annotated : bool
+  (** [false] when [may_send] is the all-[true] conservative default, in
+      which case no reduction is possible and [ample] short-circuits. *)
+end
+
+module Make (S : SYSTEM) : sig
+  val independent : S.config -> S.event -> S.event -> bool
+  (** Disjoint-footprint test for two events enabled at the configuration:
+      distinct pids, and no may-send edge from either pid into a delivery of
+      the other.  Independent events commute (Lemma 1) and neither enables
+      nor disables the other. *)
+
+  type decision = {
+    events : S.event list;
+        (** the selected ample set, in the enabled list's order *)
+    reduced : bool;
+        (** true when [events] is a strict subset of the enabled list *)
+    group : bool array;
+        (** the process group [Q] backing the set ([group.(p)] = p in Q) *)
+  }
+
+  val ample : S.config -> S.event list -> decision
+  (** [ample c enabled] selects a persistent subset of [enabled].
+
+      For each seed process, the group [Q] is closed under inbound may-send
+      edges ([r] joins whenever [may_send c ~src:r ~dst:q] for some [q] in
+      [Q]); the ample set is every enabled event of a [Q]-process.  The
+      smallest resulting set wins, ties broken by lowest seed pid, so the
+      choice is deterministic.  Returns the whole enabled list (with
+      [reduced = false]) for unannotated systems, when every closure
+      collapses to all processes, or when the best group contributes no
+      enabled event. *)
+end

@@ -20,6 +20,7 @@ type t = {
   complete : bool;
   rules_run : string list;
   findings : finding list;
+  stats : (string * Json.t) list;
 }
 
 (* Canonical finding order: rule name, then severity (worst first), then
@@ -100,6 +101,7 @@ let to_json t =
       ("complete", Json.Bool t.complete);
       ("rules", Json.List (List.map (fun r -> Json.Str r) t.rules_run));
       ("findings", Json.List (List.map finding_to_json (canonical t).findings));
+      ("stats", Json.Obj t.stats);
       ("errors", Json.Int (error_count t));
     ]
 

@@ -24,6 +24,10 @@ type t = {
   complete : bool;  (** false when the walk hit the configuration budget *)
   rules_run : string list;
   findings : finding list;
+  stats : (string * Json.t) list;
+      (** rule-name-keyed statistics objects (e.g.
+          [commutativity.trials]/[holds], footprint-soundness coverage
+          counters); emitted under ["stats"] in {!to_json} *)
 }
 
 val compare_finding : finding -> finding -> int

@@ -4,6 +4,7 @@ type id =
   | Witness_coherence
   | Buffer_conservation
   | Commutativity
+  | Footprint_soundness
 
 type t = {
   id : id;
@@ -84,7 +85,34 @@ let commutativity =
        info note) when the protocol is too broken to replay schedules.";
   }
 
-let all = [ determinism; write_once; witness_coherence; buffer_conservation; commutativity ]
+let footprint_soundness =
+  {
+    id = Footprint_soundness;
+    name = "footprint-soundness";
+    severity = Severity.Error;
+    synopsis = "declared may_send footprints over-approximate the real sends";
+    doc =
+      "For protocols that declare a may_send footprint: every send performed \
+       by a reachable step must be allowed by the footprint evaluated on the \
+       pre-step state; a footprint entry that is false must stay false across \
+       every observed transition of that process (hereditariness); and pairs \
+       of enabled events the static analyzer derives as independent from the \
+       footprints must dynamically commute.  The partial-order-reduced \
+       explorer prunes events based on these footprints, so a lying (too \
+       narrow) footprint silently unsounds every reduced analysis — this rule \
+       is what makes `--por' trustworthy.  Protocols without a footprint are \
+       skipped: the conservative default is vacuously sound.";
+  }
+
+let all =
+  [
+    determinism;
+    write_once;
+    witness_coherence;
+    buffer_conservation;
+    commutativity;
+    footprint_soundness;
+  ]
 
 let find name = List.find_opt (fun r -> r.name = name) all
 

@@ -32,6 +32,15 @@ type id =
           sampled from the reachable graph, must commute.  Lemma 1 is
           unconditional in the model, so any failure here is a hidden
           determinism or buffer violation. *)
+  | Footprint_soundness
+      (** The declared {!Flp.Protocol.S.may_send} footprint must be a sound
+          over-approximation: every reachable send is allowed by the
+          footprint on the pre-step state, [false] entries are hereditary
+          along observed transitions, and statically-independent enabled
+          pairs commute dynamically.  The reduced explorer
+          ({!Flp.Analysis.Make.Explore} with [~reduction]) prunes on these
+          footprints, so this rule is the certificate that makes partial-order
+          reduction trustworthy.  Vacuous for unannotated protocols. *)
 
 type t = {
   id : id;

@@ -323,11 +323,13 @@ module Make (P : Protocol.S) = struct
 
   let commutativity opts _w rule =
     let add, close = sink opts rule in
+    let stats = ref [] in
     let mixed =
       Array.init P.n (fun pid -> if pid = P.n - 1 then Value.One else Value.Zero)
     in
     (match A.Lemma.check_lemma1 ~seed:opts.seed ~trials:opts.trials ~depth:6 mixed with
     | report ->
+        stats := [ ("trials", Json.Int report.trials); ("holds", Json.Int report.holds) ];
         List.iter
           (fun failure -> add ~witness:failure "schedules over disjoint process sets fail to commute")
           report.failures
@@ -337,13 +339,124 @@ module Make (P : Protocol.S) = struct
              "spot-check skipped: schedule replay raised %s — fix the findings of the \
               direct rules first"
              (Printexc.to_string exn)));
-    close ()
+    (close (), !stats)
+
+  (* -- footprint soundness (may_send certification) ----------------------- *)
+
+  module FI = Indep.Make (struct
+    type config = C.t
+
+    type event = C.event
+
+    let n = P.n
+
+    let pid (e : C.event) = e.dest
+
+    let is_delivery (e : C.event) = Option.is_some e.msg
+
+    let may_send c ~src ~dst = C.may_send_to c src dst
+
+    let annotated = C.footprints_annotated
+  end)
+
+  let footprint_soundness opts w rule =
+    let add, close = sink opts rule in
+    match P.may_send with
+    | None -> (close (), [ ("annotated", Json.Bool false) ])
+    | Some f ->
+        (* A raising footprint is itself a finding; treat it as permissive
+           afterwards so one raise doesn't cascade. *)
+        let raised = ref false in
+        let allowed ~pid st d =
+          try f ~pid st d
+          with exn ->
+            if not !raised then begin
+              raised := true;
+              add (Printf.sprintf "may_send raised %s" (Printexc.to_string exn))
+            end;
+            true
+        in
+        let transitions = ref 0 in
+        (* 1. Over-approximation: every send a reachable step performs must be
+           allowed by the footprint evaluated on the pre-step state. *)
+        (* 2. Hereditariness: a false entry must stay false across every
+           observed transition of that process — the persistent-set closure
+           relies on "can never send there" being stable. *)
+        iter_transitions w (fun cfg (e : C.event) ->
+            let st = (C.states cfg).(e.dest) in
+            match P.step ~pid:e.dest st e.msg with
+            | exception _ -> () (* the determinism rule reports raising steps *)
+            | st', sends ->
+                incr transitions;
+                List.iter
+                  (fun (d, m) ->
+                    if not (allowed ~pid:e.dest st d) then
+                      add
+                        ~witness:
+                          (Printf.sprintf "message %s\n%s" (show P.pp_msg m)
+                             (transition_witness cfg e))
+                        (Printf.sprintf
+                           "p%d sent to p%d, but the declared footprint has may_send = \
+                            false on the pre-step state"
+                           e.dest d))
+                  sends;
+                for d = 0 to P.n - 1 do
+                  if (not (allowed ~pid:e.dest st d)) && allowed ~pid:e.dest st' d then
+                    add ~witness:(transition_witness cfg e)
+                      (Printf.sprintf
+                         "footprint of p%d toward p%d flipped false -> true across a \
+                          step; may_send must be hereditary"
+                         e.dest d)
+                done);
+        (* 3. Certification of the derived relation: pairs of enabled events
+           the static analyzer calls independent must commute dynamically. *)
+        let pairs = ref 0 in
+        let budget = ref (max 0 opts.trials) in
+        (try
+           List.iter
+             (fun cfg ->
+               if !budget <= 0 then raise Exit;
+               let events = try C.events cfg with _ -> [] in
+               List.iteri
+                 (fun i e1 ->
+                   List.iteri
+                     (fun j e2 ->
+                       if j > i && !budget > 0 && FI.independent cfg e1 e2 then begin
+                         decr budget;
+                         incr pairs;
+                         let witness () =
+                           Printf.sprintf "events %s / %s in configuration:\n%s"
+                             (show C.pp_event e1) (show C.pp_event e2) (show C.pp cfg)
+                         in
+                         match
+                           ( C.apply_unchecked (fst (C.apply_unchecked cfg e1)) e2,
+                             C.apply_unchecked (fst (C.apply_unchecked cfg e2)) e1 )
+                         with
+                         | (a, _), (b, _) ->
+                             if not (C.equal a b) then
+                               add ~witness:(witness ())
+                                 "statically independent enabled events fail to commute"
+                         | exception _ ->
+                             add ~witness:(witness ())
+                               "statically independent enabled event disabled its partner"
+                       end)
+                     events)
+                 events)
+             w.configs
+         with Exit -> ());
+        ( close (),
+          [
+            ("annotated", Json.Bool true);
+            ("transitions", Json.Int !transitions);
+            ("independent_pairs", Json.Int !pairs);
+          ] )
 
   let check opts w (rule : Rule.t) =
     match rule.Rule.id with
-    | Rule.Determinism -> determinism opts w rule
-    | Rule.Write_once -> write_once opts w rule
-    | Rule.Witness_coherence -> witness_coherence opts w rule
-    | Rule.Buffer_conservation -> buffer_conservation opts w rule
+    | Rule.Determinism -> (determinism opts w rule, [])
+    | Rule.Write_once -> (write_once opts w rule, [])
+    | Rule.Witness_coherence -> (witness_coherence opts w rule, [])
+    | Rule.Buffer_conservation -> (buffer_conservation opts w rule, [])
     | Rule.Commutativity -> commutativity opts w rule
+    | Rule.Footprint_soundness -> footprint_soundness opts w rule
 end

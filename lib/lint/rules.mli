@@ -40,7 +40,10 @@ module Make (P : Flp.Protocol.S) : sig
   (** [false] when the budget was exhausted or exploration aborted; findings
       are then a spot-check of the visited prefix, not a full audit. *)
 
-  val check : opts -> walk -> Rule.t -> Report.finding list
-  (** Run one rule against the walked space.  Findings beyond
-      [max_findings] are summarised in a trailing [Info] note. *)
+  val check : opts -> walk -> Rule.t -> Report.finding list * (string * Json.t) list
+  (** Run one rule against the walked space; returns its findings plus
+      rule-specific statistics destined for the report's [stats] object
+      (e.g. commutativity [trials]/[holds], footprint-soundness transition
+      and independent-pair counts).  Findings beyond [max_findings] are
+      summarised in a trailing [Info] note. *)
 end

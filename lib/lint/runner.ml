@@ -13,26 +13,27 @@ let lint ?(obs = Obs.disabled) ?(opts = default_opts) (protocol : Flp.Protocol.t
       ~attrs:[ ("protocol", Flp_json.Str P.name) ]
       (fun () -> Obs.Metrics.time t_walk (fun () -> L.walk opts.rule_opts))
   in
-  let findings =
-    List.concat_map
+  let results =
+    List.map
       (fun rule ->
         let name = (rule : Rule.t).Rule.name in
         let t_rule = Obs.Metrics.timer metrics ("lint.rule." ^ name) in
         let c_findings = Obs.Metrics.counter metrics ("lint.findings." ^ name) in
-        let fs =
+        let fs, stats =
           Obs.Span.span trace "lint.rule"
             ~attrs:[ ("protocol", Flp_json.Str P.name); ("rule", Flp_json.Str name) ]
             (fun () ->
               Obs.Metrics.time t_rule (fun () ->
                   try L.check opts.rule_opts w rule
                   with exn ->
-                    [
-                      Report.finding ~severity:Severity.Info rule
-                        (Printf.sprintf "rule aborted: %s" (Printexc.to_string exn));
-                    ]))
+                    ( [
+                        Report.finding ~severity:Severity.Info rule
+                          (Printf.sprintf "rule aborted: %s" (Printexc.to_string exn));
+                      ],
+                      [] )))
         in
         Obs.Metrics.incr c_findings (List.length fs);
-        fs)
+        (name, fs, stats))
       opts.rules
   in
   {
@@ -41,7 +42,11 @@ let lint ?(obs = Obs.disabled) ?(opts = default_opts) (protocol : Flp.Protocol.t
     configs_explored = L.configs_explored w;
     complete = L.complete w;
     rules_run = List.map (fun (r : Rule.t) -> r.Rule.name) opts.rules;
-    findings;
+    findings = List.concat_map (fun (_, fs, _) -> fs) results;
+    stats =
+      List.filter_map
+        (fun (name, _, stats) -> if stats = [] then None else Some (name, Json.Obj stats))
+        results;
   }
 
 (* Audits of distinct protocols are independent (each builds its own walk

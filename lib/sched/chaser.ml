@@ -19,12 +19,16 @@ module Make (P : Flp.Protocol.S) = struct
      overflowed [max_configs] and every valence is unknown. *)
   type table = (A.Explore.graph * A.Valency.valence array) option
 
-  type cache = { lock : Mutex.t; mutable table : (C.t * table) option }
-  (* the root configuration the table was explored from, for misuse checks *)
+  type cache = {
+    lock : Mutex.t;
+    mutable table : (C.t * A.Explore.reduction * table) option;
+  }
+  (* the root configuration and reduction mode the table was explored from,
+     for misuse checks *)
 
   let cache () = { lock = Mutex.create (); table = None }
 
-  let policy ?(max_configs = 200_000) ?cache:shared ~inputs () =
+  let policy ?(max_configs = 200_000) ?(reduction = `None) ?cache:shared ~inputs () =
     if Array.length inputs <> P.n then invalid_arg "Sched.Chaser: inputs length";
     let cache =
       match shared with Some c -> c | None -> { lock = Mutex.create (); table = None }
@@ -48,10 +52,13 @@ module Make (P : Flp.Protocol.S) = struct
       Mutex.lock cache.lock;
       let t =
         match cache.table with
-        | Some (r, _) when not (C.equal r root) ->
+        | Some (r, _, _) when not (C.equal r root) ->
             Mutex.unlock cache.lock;
             invalid_arg "Sched.Chaser: cache shared across different inputs"
-        | Some (_, t) ->
+        | Some (_, red, _) when red <> reduction ->
+            Mutex.unlock cache.lock;
+            invalid_arg "Sched.Chaser: cache shared across different reduction modes"
+        | Some (_, _, t) ->
             stats.cache_hits <- stats.cache_hits + 1;
             t
         | None ->
@@ -59,7 +66,7 @@ module Make (P : Flp.Protocol.S) = struct
                cache is after the same table and would only duplicate the
                exploration. *)
             stats.oracle_calls <- stats.oracle_calls + 1;
-            let g = A.Explore.explore ~max_configs root in
+            let g = A.Explore.explore ~reduction ~max_configs root in
             let t =
               if not (A.Explore.complete g) then begin
                 stats.incomplete <- stats.incomplete + 1;
@@ -67,7 +74,7 @@ module Make (P : Flp.Protocol.S) = struct
               end
               else Some (g, A.Valency.classify g)
             in
-            cache.table <- Some (root, t);
+            cache.table <- Some (root, reduction, t);
             t
       in
       Mutex.unlock cache.lock;

@@ -51,6 +51,7 @@ module Make (P : Flp.Protocol.S) : sig
 
   val policy :
     ?max_configs:int ->
+    ?reduction:[ `None | `Persistent | `Sleep ] ->
     ?cache:cache ->
     inputs:Flp.Value.t array ->
     unit ->
@@ -60,5 +61,14 @@ module Make (P : Flp.Protocol.S) : sig
       value, and should be a bivalent initial configuration for the chase
       to bite).  [max_configs] (default 200k) bounds each oracle
       exploration; [cache] (default private to this policy) lets a seed
-      campaign pay for each distinct configuration's exploration once. *)
+      campaign pay for each distinct configuration's exploration once.
+
+      [reduction] (default [`None]) builds the valence table from a
+      partial-order-reduced exploration: a much smaller table, but interior
+      valences may under-approximate (a bivalent configuration can classify
+      univalent, or fall outside the reduced graph entirely), so the chase
+      concedes more steps.  A trade of adversary strength for oracle cost —
+      sound either way, since the chaser is a scheduling policy, not a
+      checker.  Sharing one [cache] across different reduction modes raises
+      [Invalid_argument]. *)
 end

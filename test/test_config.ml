@@ -106,6 +106,8 @@ module Flipper = struct
 
   let output st = if st = 0 then None else Some (if st mod 2 = 1 then Value.Zero else Value.One)
 
+  let may_send = None
+
   let equal_state = Int.equal
 
   let hash_state = Hashtbl.hash

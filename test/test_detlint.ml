@@ -81,7 +81,8 @@ let test_own_pragma_silences () =
     fixtures
 
 (* A pragma naming a *different* (valid) rule must not silence the finding:
-   suppressions are per-rule, never blanket. *)
+   suppressions are per-rule, never blanket.  The stale pragma is itself
+   called out by unused-suppression. *)
 let test_other_pragma_is_inert () =
   let n = List.length fixtures in
   List.iteri
@@ -90,12 +91,54 @@ let test_other_pragma_is_inert () =
       let findings, sups = audit (splice_at idx (pragma other) lines) in
       Alcotest.(check (list string))
         (rule ^ " survives " ^ other ^ " pragma")
-        [ rule ] (rule_names findings);
+        [ rule; "unused-suppression" ]
+        (rule_names findings);
       List.iter
         (fun (s : Detlint.Report.suppression) ->
           Alcotest.(check int) (other ^ " pragma unused") 0 s.Detlint.Report.used)
         sups)
     fixtures
+
+let test_unused_suppression () =
+  (* A valid, reasoned pragma that silences nothing is a Warn finding. *)
+  let findings, sups = audit [ pragma "marshal"; "let x = 1" ] in
+  Alcotest.(check (list string)) "stale pragma warned" [ "unused-suppression" ]
+    (rule_names findings);
+  (match findings with
+  | [ f ] ->
+      Alcotest.(check string) "warn severity" "warn"
+        (Lint.Severity.to_string f.Detlint.Finding.severity);
+      Alcotest.(check bool) "names the stale rule" true
+        (f.Detlint.Finding.line = 1 && f.Detlint.Finding.hint <> "")
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+  (match sups with
+  | [ s ] -> Alcotest.(check int) "use count still zero" 0 s.Detlint.Report.used
+  | _ -> Alcotest.fail "expected one suppression");
+  (* Running a rule subset must not flag the other rules' pragmas... *)
+  let subset =
+    [ Detlint.Rule.poly_compare; Detlint.Rule.unused_suppression ]
+  in
+  let findings, _ =
+    Detlint.Runner.check_source ~rules:subset (source [ pragma "marshal"; "let x = 1" ])
+  in
+  Alcotest.(check (list string)) "foreign pragma not flagged under subset" []
+    (rule_names findings);
+  (* ...while a selected rule's stale pragma still is. *)
+  let findings, _ =
+    Detlint.Runner.check_source ~rules:subset (source [ pragma "poly-compare"; "let x = 1" ])
+  in
+  Alcotest.(check (list string)) "selected stale pragma flagged under subset"
+    [ "unused-suppression" ] (rule_names findings);
+  (* Without unused-suppression in the run, nothing is flagged. *)
+  let findings, _ =
+    Detlint.Runner.check_source ~rules:[ Detlint.Rule.poly_compare ]
+      (source [ pragma "poly-compare"; "let x = 1" ])
+  in
+  Alcotest.(check (list string)) "rule not selected, no warning" [] (rule_names findings);
+  (* An invalid (reasonless) pragma is bad-suppression's business, not ours. *)
+  let findings, _ = audit [ reasonless "marshal"; "let x = 1" ] in
+  Alcotest.(check (list string)) "invalid pragma not double-flagged"
+    [ "bad-suppression" ] (rule_names findings)
 
 let test_bad_suppression () =
   (* No reason: inert and itself an error. *)
@@ -255,6 +298,8 @@ let () =
           Alcotest.test_case "attribute forms" `Quick test_attribute_suppressions;
           Alcotest.test_case "parse error unsuppressible" `Quick
             test_parse_error_unsuppressible;
+          Alcotest.test_case "stale suppressions warned" `Quick
+            test_unused_suppression;
         ] );
       ( "regressions",
         [

@@ -23,6 +23,8 @@ module Output_mutator = struct
 
   let output st = if st.steps >= 1 then Some st.x else None
 
+  let may_send = None
+
   let equal_state = ( = )
 
   let hash_state = Hashtbl.hash
@@ -56,6 +58,8 @@ module Hash_incoherent = struct
 
   let output _ = None
 
+  let may_send = None
+
   let equal_state a b = Value.equal a.x b.x
 
   let hash_state = Hashtbl.hash
@@ -87,6 +91,8 @@ module Wild_sender = struct
     else ({ st with sent = true }, [ (5, Vote st.x); (1 - pid, Vote st.x) ])
 
   let output _ = None
+
+  let may_send = None
 
   let equal_state = ( = )
 
@@ -123,6 +129,8 @@ module Flaky = struct
 
   let output _ = None
 
+  let may_send = None
+
   let equal_state = ( = )
 
   let hash_state = Hashtbl.hash
@@ -135,6 +143,76 @@ module Flaky = struct
   let hash_msg = Hashtbl.hash
 
   let pp_msg ppf () = Format.pp_print_string ppf "nudge"
+end
+
+(* Footprint violation (over-narrow): sends a vote to its peer on the first
+   step while the declared footprint swears it never sends at all.  The
+   reduced explorer would prune the peer's branch on the strength of that lie
+   — exactly what footprint-soundness must catch. *)
+module Narrow_footprint = struct
+  type state = { x : Value.t; sent : bool }
+
+  type msg = Vote of Value.t
+
+  let name = "broken:narrow-footprint"
+
+  let n = 2
+
+  let init ~pid:_ ~input = { x = input; sent = false }
+
+  let step ~pid st m =
+    let st = match m with Some (Vote _) | None -> st in
+    if st.sent then (st, []) else ({ st with sent = true }, [ (1 - pid, Vote st.x) ])
+
+  let output _ = None
+
+  let may_send = Some (fun ~pid:_ _ _ -> false)
+
+  let equal_state = ( = )
+
+  let hash_state = Hashtbl.hash
+
+  let pp_state ppf st = Format.fprintf ppf "{x=%a sent=%b}" Value.pp st.x st.sent
+
+  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
+  let compare_msg = Stdlib.compare
+
+  let hash_msg = Hashtbl.hash
+
+  let pp_msg ppf (Vote v) = Format.fprintf ppf "vote:%a" Value.pp v
+end
+
+(* Footprint violation (non-hereditary): never sends anything, but the
+   declared footprint flips from false to true after the first step — the
+   persistent-set closure relies on false entries staying false forever. *)
+module Flipping_footprint = struct
+  type state = int  (* steps taken, capped *)
+
+  type msg = unit  (* never sent *)
+
+  let name = "broken:flipping-footprint"
+
+  let n = 2
+
+  let init ~pid:_ ~input:_ = 0
+
+  let step ~pid:_ st _ = (min 2 (st + 1), [])
+
+  let output _ = None
+
+  let may_send = Some (fun ~pid:_ st _ -> st >= 1)
+
+  let equal_state = Int.equal
+
+  let hash_state = Hashtbl.hash
+
+  let pp_state = Format.pp_print_int
+
+  let compare_msg () () = 0
+
+  let hash_msg = Hashtbl.hash
+
+  let pp_msg ppf () = Format.pp_print_string ppf "()"
 end
 
 let opts =
@@ -193,8 +271,22 @@ let test_exit_codes () =
   Alcotest.(check int) "clean gate passes" 0 (Lint.Runner.exit_code [ clean ]);
   Alcotest.(check int) "broken gate fails" 1 (Lint.Runner.exit_code [ clean; broken ])
 
+let test_narrow_footprint_flagged () =
+  let report = lint (module Narrow_footprint : Protocol.S) in
+  Alcotest.(check (list string)) "only footprint-soundness fires" [ "footprint-soundness" ]
+    (error_rules report);
+  let f = List.hd (Lint.Report.errors report) in
+  Alcotest.(check bool) "names the denied send" true
+    (let msg = f.Lint.Report.message in
+     String.length msg > 0 && f.Lint.Report.rule = "footprint-soundness")
+
+let test_flipping_footprint_flagged () =
+  let report = lint (module Flipping_footprint : Protocol.S) in
+  Alcotest.(check (list string)) "only footprint-soundness fires" [ "footprint-soundness" ]
+    (error_rules report)
+
 let test_rule_catalogue () =
-  Alcotest.(check int) "five rules" 5 (List.length Lint.Rule.all);
+  Alcotest.(check int) "six rules" 6 (List.length Lint.Rule.all);
   Alcotest.(check bool) "find write-once" true (Lint.Rule.find "write-once" <> None);
   Alcotest.(check bool) "find unknown" true (Lint.Rule.find "nope" = None);
   List.iter
@@ -227,6 +319,20 @@ let test_json_report () =
   Alcotest.(check bool) "nonzero error total" true
     (contains ~sub:{|"errors":|} json && not (contains ~sub:{|"errors":0,|} json))
 
+let test_json_stats () =
+  (* trials/holds of the commutativity spot-check and the footprint coverage
+     counters surface in the report's stats object *)
+  let report = lint Zoo.and_wait in
+  let json = Lint.Json.to_string (Lint.Report.to_json report) in
+  Alcotest.(check bool) "commutativity trials" true
+    (contains ~sub:{|"commutativity":{"trials":60,"holds":60|} json);
+  Alcotest.(check bool) "footprint annotated" true
+    (contains ~sub:{|"footprint-soundness":{"annotated":true|} json);
+  let unannotated = lint (module Flaky : Protocol.S) in
+  let ujson = Lint.Json.to_string (Lint.Report.to_json unannotated) in
+  Alcotest.(check bool) "unannotated marked" true
+    (contains ~sub:{|"footprint-soundness":{"annotated":false}|} ujson)
+
 let test_severity () =
   List.iter
     (fun s ->
@@ -257,10 +363,13 @@ let () =
           Alcotest.test_case "hash incoherence flagged" `Quick test_hash_incoherent_flagged;
           Alcotest.test_case "wild sender flagged" `Quick test_wild_sender_flagged;
           Alcotest.test_case "flaky step flagged" `Quick test_flaky_flagged;
+          Alcotest.test_case "narrow footprint flagged" `Quick test_narrow_footprint_flagged;
+          Alcotest.test_case "flipping footprint flagged" `Quick test_flipping_footprint_flagged;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
           Alcotest.test_case "rule catalogue" `Quick test_rule_catalogue;
           Alcotest.test_case "json escaping" `Quick test_json_escaping;
           Alcotest.test_case "json report" `Quick test_json_report;
+          Alcotest.test_case "json stats" `Quick test_json_stats;
           Alcotest.test_case "severity" `Quick test_severity;
           Alcotest.test_case "text report" `Quick test_text_report_renders;
         ] );

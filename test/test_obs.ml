@@ -247,6 +247,33 @@ let test_explore_configs_counter_matches_size () =
   let size, counter, _ = explore_with_obs ~jobs:2 in
   Alcotest.(check int) "explore.configs = graph size" size (counter "explore.configs")
 
+(* Under a reduction mode the counters must match the graph's own
+   accounting: pruned events contribute to explore.por.pruned, never to
+   explore.edges. *)
+let test_explore_por_counters () =
+  match Flp.Zoo.find "pipeline:3" with
+  | None -> Alcotest.fail "pipeline:3 missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Flp.Protocol.S) in
+      let module A = Flp.Analysis.Make (P) in
+      let m = Obs.Metrics.create () in
+      let obs = Obs.create ~metrics:m () in
+      let inputs = Array.init P.n (fun i -> Flp.Value.of_int (i land 1)) in
+      let g =
+        A.Explore.explore ~obs ~reduction:`Sleep ~max_configs:3_000 (A.C.initial inputs)
+      in
+      let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+      Alcotest.(check int) "explore.edges = applied edges only"
+        (A.Explore.edge_count g) (counter "explore.edges");
+      Alcotest.(check int) "explore.por.pruned = pruned_count"
+        (A.Explore.pruned_count g) (counter "explore.por.pruned");
+      Alcotest.(check int) "explore.por.sleep_hits = sleep_hit_count"
+        (A.Explore.sleep_hit_count g)
+        (counter "explore.por.sleep_hits");
+      Alcotest.(check int) "explore.por.proviso = proviso_count"
+        (A.Explore.proviso_count g) (counter "explore.por.proviso");
+      Alcotest.(check bool) "pruning happened" true (A.Explore.pruned_count g > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Engine probes                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -352,6 +379,8 @@ let () =
         [
           Alcotest.test_case "metrics deterministic across jobs" `Quick
             test_explore_metrics_deterministic;
+          Alcotest.test_case "por counters match graph accounting" `Quick
+            test_explore_por_counters;
           Alcotest.test_case "configs counter = graph size" `Quick
             test_explore_configs_counter_matches_size;
         ] );

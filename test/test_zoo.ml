@@ -1,7 +1,7 @@
 open Flp
 
 let test_catalogue () =
-  Alcotest.(check int) "seven entries" 7 (List.length Zoo.all);
+  Alcotest.(check int) "eight entries" 8 (List.length Zoo.all);
   List.iter
     (fun (e : Zoo.entry) ->
       let module P = (val e.protocol : Protocol.S) in
@@ -12,6 +12,7 @@ let test_catalogue () =
 let test_find () =
   Alcotest.(check bool) "known" true (Zoo.find "and-wait" <> None);
   Alcotest.(check bool) "race" true (Zoo.find "race:2" <> None);
+  Alcotest.(check bool) "pipeline family" true (Zoo.find "pipeline:5" <> None);
   Alcotest.(check bool) "unknown" true (Zoo.find "paxos" = None)
 
 let test_initial_states_undecided () =
@@ -70,7 +71,9 @@ let test_benor_det_invalid_cap () =
   Alcotest.check_raises "cap" (Invalid_argument "Zoo.benor_det: cap must be >= 1") (fun () ->
       ignore (Zoo.benor_det ~cap:0));
   Alcotest.check_raises "race cap" (Invalid_argument "Zoo.race: cap must be >= 1") (fun () ->
-      ignore (Zoo.race ~cap:0))
+      ignore (Zoo.race ~cap:0));
+  Alcotest.check_raises "pipeline ticks" (Invalid_argument "Zoo.pipeline: ticks must be >= 0")
+    (fun () -> ignore (Zoo.pipeline ~ticks:(-1)))
 
 let test_protocol_accessors () =
   Alcotest.(check string) "name" "and-wait" (Protocol.name Zoo.and_wait);
