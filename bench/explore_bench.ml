@@ -9,13 +9,27 @@
 
      explore_bench                          # default budget, 3 repeats
      explore_bench --budget 20000 --repeats 1 --out BENCH_explore.json
+     explore_bench --strict --gate 1.0      # CI: multicore runner only
 
    Timing uses repeated runs with the minimum wall-clock time kept — the
-   usual defense against scheduler noise for single-shot macro benchmarks. *)
+   usual defense against scheduler noise for single-shot macro benchmarks.
+
+   Honesty contract: a run with [jobs] greater than the host's available
+   cores measures oversubscription, not parallel speedup — exactly the
+   mistake that once put sub-1× "speedups" measured on a 1-core host into
+   the committed baseline.  Every such run is flagged [oversubscribed] in
+   the table and in the JSON; [--strict] refuses to produce the artifact at
+   all, and [--gate] enforces a minimum jobs=2 speedup on the gated
+   protocols so CI catches parallel regressions. *)
 
 let jobs_levels = [ 1; 2; 4 ]
 
 let bench_protocols = [ "race:2"; "benor-det:1"; "parity" ]
+
+(* Protocols whose jobs=2 speedup [--gate] checks: the big frontiers where
+   parallelism must pay.  [parity] (25 configs) is deliberately not gated —
+   it exists to show the sequential fast path absorbing tiny waves. *)
+let gated_protocols = [ "race:2"; "benor-det:1" ]
 
 type measurement = {
   jobs : int;
@@ -23,7 +37,10 @@ type measurement = {
   size : int;
   edges : int;
   complete : bool;
+  oversubscribed : bool;  (** [jobs] exceeded the host's available cores *)
 }
+
+let available_cores () = Domain.recommended_domain_count ()
 
 let time_explore ~repeats ~budget ~jobs protocol =
   let module P = (val protocol : Flp.Protocol.S) in
@@ -48,6 +65,7 @@ let time_explore ~repeats ~budget ~jobs protocol =
         size = A.Explore.size g;
         edges = A.Explore.edge_count g;
         complete = A.Explore.complete g;
+        oversubscribed = jobs > available_cores ();
       }
 
 let configs_per_sec m = if m.seconds > 0. then float_of_int m.size /. m.seconds else 0.
@@ -71,9 +89,10 @@ let bench_one ~repeats ~budget name =
         (if base.complete then "complete" else "truncated");
       List.iter
         (fun m ->
-          Printf.printf "  jobs=%d  %8.3f s  %10.0f configs/s  speedup %.2fx\n" m.jobs
+          Printf.printf "  jobs=%d  %8.3f s  %10.0f configs/s  speedup %.2fx%s\n" m.jobs
             m.seconds (configs_per_sec m)
-            (if m.seconds > 0. then base.seconds /. m.seconds else 1.))
+            (if m.seconds > 0. then base.seconds /. m.seconds else 1.)
+            (if m.oversubscribed then "  [oversubscribed]" else ""))
         ms;
       (name, base, ms)
 
@@ -85,7 +104,12 @@ let json_of_results ~budget ~repeats results =
       ("benchmark", Str "explore");
       ("budget", Int budget);
       ("repeats", Int repeats);
-      ("available_cores", Int (Domain.recommended_domain_count ()));
+      ("available_cores", Int (available_cores ()));
+      ( "oversubscribed",
+        Bool
+          (List.exists
+             (fun (_, _, ms) -> List.exists (fun m -> m.oversubscribed) ms)
+             results) );
       ( "protocols",
         List
           (List.map
@@ -109,13 +133,49 @@ let json_of_results ~budget ~repeats results =
                                   Float
                                     (if m.seconds > 0. then base.seconds /. m.seconds
                                      else 1.) );
+                                ("oversubscribed", Bool m.oversubscribed);
                               ])
                           ms) );
                  ])
              results) );
     ]
 
-let run budget repeats out =
+(* [--gate MIN]: the jobs=2 speedup on each gated protocol must reach MIN.
+   Speedups measured oversubscribed are regressions of the {e host}, not the
+   explorer, so the gate refuses to pass or fail on them — it reports and
+   exits 3 like [--strict] would (a gated CI run belongs on a multicore
+   runner). *)
+let check_gate ~gate results =
+  let failures = ref [] in
+  let oversub = ref [] in
+  List.iter
+    (fun (name, (base : measurement), ms) ->
+      if List.mem name gated_protocols then
+        List.iter
+          (fun m ->
+            if m.jobs = 2 then
+              if m.oversubscribed then oversub := name :: !oversub
+              else begin
+                let speedup = if m.seconds > 0. then base.seconds /. m.seconds else 1. in
+                if speedup < gate then
+                  failures := Printf.sprintf "%s: jobs=2 speedup %.2fx < %.2fx" name speedup gate :: !failures
+              end)
+          ms)
+    results;
+  if !oversub <> [] then begin
+    Format.eprintf
+      "explore_bench: --gate needs available_cores >= 2; jobs=2 was oversubscribed on: %s@."
+      (String.concat ", " (List.rev !oversub));
+    exit 3
+  end;
+  if !failures <> [] then begin
+    List.iter (fun f -> Format.eprintf "explore_bench: GATE FAILED: %s@." f) (List.rev !failures);
+    exit 4
+  end;
+  Printf.printf "gate passed: jobs=2 speedup >= %.2fx on %s\n" gate
+    (String.concat ", " gated_protocols)
+
+let run budget repeats out strict gate =
   if budget < 1 then begin
     Format.eprintf "explore_bench: --budget must be at least 1 (got %d)@." budget;
     exit 2
@@ -124,14 +184,29 @@ let run budget repeats out =
     Format.eprintf "explore_bench: --repeats must be at least 1 (got %d)@." repeats;
     exit 2
   end;
-  Printf.printf "explore_bench: budget=%d repeats=%d cores=%d\n\n" budget repeats
-    (Domain.recommended_domain_count ());
+  let cores = available_cores () in
+  let max_jobs = List.fold_left max 1 jobs_levels in
+  if strict && max_jobs > cores then begin
+    Format.eprintf
+      "explore_bench: --strict: jobs=%d exceeds available_cores=%d; speedups measured \
+       oversubscribed are not parallel speedups — run on a host with >= %d cores@."
+      max_jobs cores max_jobs;
+    exit 3
+  end;
+  Printf.printf "explore_bench: budget=%d repeats=%d cores=%d\n" budget repeats cores;
+  if max_jobs > cores then
+    Printf.printf
+      "WARNING: jobs up to %d on %d core(s) — flagged runs measure oversubscription, \
+       not speedup\n"
+      max_jobs cores;
+  print_newline ();
   let results = List.map (fun name -> bench_one ~repeats ~budget name) bench_protocols in
   let json = json_of_results ~budget ~repeats results in
   (* Same JSONL emitter as --metrics/--trace: one compact object per line,
      so the CI artifact is parseable alongside the observability dumps. *)
   Obs.Sink.with_file out (fun sink -> Obs.Sink.emit sink json);
-  Printf.printf "\nwrote %s\n" out
+  Printf.printf "\nwrote %s\n" out;
+  match gate with None -> () | Some g -> check_gate ~gate:g results
 
 open Cmdliner
 
@@ -147,9 +222,21 @@ let out_arg =
   Arg.(value & opt string "BENCH_explore.json"
        & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
 
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Exit 3 instead of measuring when any jobs level exceeds the host's \
+                 available cores (oversubscribed timings are not speedups).")
+
+let gate_arg =
+  Arg.(value & opt (some float) None
+       & info [ "gate" ] ~docv:"MIN"
+           ~doc:"Exit 4 unless the jobs=2 speedup on race:2 and benor-det:1 reaches \
+                 MIN.  Requires a host with at least 2 cores (exit 3 otherwise).")
+
 let cmd =
   Cmd.v
     (Cmd.info "explore_bench" ~doc:"Benchmark sequential vs parallel exploration")
-    Term.(const run $ budget_arg $ repeats_arg $ out_arg)
+    Term.(const run $ budget_arg $ repeats_arg $ out_arg $ strict_arg $ gate_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -2,14 +2,6 @@ module Make (P : Protocol.S) = struct
   module C = Config.Make (P)
 
   module Explore = struct
-    module Tbl = Hashtbl.Make (struct
-      type t = C.t
-
-      let equal = C.equal
-
-      let hash = C.hash
-    end)
-
     type reduction = [ `None | `Persistent | `Sleep ]
 
     let reduction_name = function
@@ -36,10 +28,75 @@ module Make (P : Protocol.S) = struct
       let annotated = C.footprints_annotated
     end)
 
-    type graph = {
-      mutable configs : C.t array;
+    (* ---------------------------------------------------------------- *)
+    (* Sharded intern table over packed keys                             *)
+    (* ---------------------------------------------------------------- *)
+
+    (* Interning used to funnel every successor through one [Hashtbl] keyed
+       by whole configurations — the serial bottleneck that made the
+       frontier explorer {e slower} with more cores.  The store now keys on
+       {!C.Packed} byte strings with precomputed FNV hashes, split into
+       [hash mod shards] shards (shard count independent of [jobs]).  The
+       wave protocol is strictly phased:
+
+       - {b probe} (parallel): workers pack each successor read-only and
+         probe its shard — no domain writes the store while any domain
+         reads it, so no locks are needed and no probe order can leak into
+         the result;
+       - {b merge} (sequential, frontier order): fresh configurations are
+         assigned ids, packed (interning any new parts), and inserted.
+
+       Every id, successor list, parent witness, sleep set and the
+       truncation point is therefore decided by the same frontier-order
+       merge the sequential explorer runs — bit-identical at every [jobs]
+       and every [shards] value. *)
+
+    module KTbl = Hashtbl.Make (struct
+      type t = int * string  (* (precomputed FNV hash, packed key) *)
+
+      let hash (h, _) = h
+
+      let equal (h1, k1) (h2, k2) = h1 = h2 && String.equal k1 k2
+    end)
+
+    type store = {
+      pstore : C.Packed.store;
+      shards : int KTbl.t array;  (* (hash, key) -> id; shard = hash mod shard_count *)
+      shard_count : int;
+      mutable packed : string array;  (* id -> packed key *)
       mutable count : int;
-      ids : int Tbl.t;
+      mutable bytes : int;  (* total packed bytes, for explore.packed.bytes *)
+    }
+
+    let store_create ~shards =
+      {
+        pstore = C.Packed.create ();
+        shards = Array.init shards (fun _ -> KTbl.create 256);
+        shard_count = shards;
+        packed = [||];
+        count = 0;
+        bytes = 0;
+      }
+
+    let store_find st ~hash key =
+      KTbl.find_opt st.shards.(hash mod st.shard_count) (hash, key)
+
+    (* Merge phase only: never called while workers probe. *)
+    let store_add st ~hash key =
+      let id = st.count in
+      if id >= Array.length st.packed then begin
+        let na = Array.make (max 64 (2 * Array.length st.packed)) "" in
+        Array.blit st.packed 0 na 0 id;
+        st.packed <- na
+      end;
+      st.packed.(id) <- key;
+      st.bytes <- st.bytes + String.length key;
+      KTbl.add st.shards.(hash mod st.shard_count) (hash, key) id;
+      st.count <- id + 1;
+      id
+
+    type graph = {
+      store : store;
       mutable succs : (C.event * int) list array;
       mutable parents : (int * C.event option) array;  (* (parent, edge); root has (-1, None) *)
       mutable expanded_flags : Bytes.t;
@@ -50,59 +107,90 @@ module Make (P : Protocol.S) = struct
       mutable pruned : int;  (* enabled events never explored (persistence) *)
       mutable sleep_hits : int;  (* enabled events delegated to a sibling branch *)
       mutable proviso_hits : int;  (* cycle-proviso full expansions *)
+      mutable probes : int;  (* intern-table probes, probe + merge phases *)
     }
 
     let ensure_capacity g needed =
-      let cap = Array.length g.configs in
+      let cap = Array.length g.succs in
       if needed > cap then begin
         let ncap = max 64 (max needed (2 * cap)) in
+        let count = g.store.count in
         let grow_arr a fill =
           let na = Array.make ncap fill in
-          Array.blit a 0 na 0 g.count;
+          Array.blit a 0 na 0 count;
           na
         in
-        g.configs <- grow_arr g.configs g.configs.(0);
         g.succs <- grow_arr g.succs [];
         g.parents <- grow_arr g.parents (-1, None);
         g.sleeps <- grow_arr g.sleeps [];
         let nb = Bytes.make ncap '\000' in
-        Bytes.blit g.expanded_flags 0 nb 0 g.count;
+        Bytes.blit g.expanded_flags 0 nb 0 count;
         g.expanded_flags <- nb
       end
 
-    let intern g cfg ~parent =
-      match Tbl.find_opt g.ids cfg with
-      | Some id -> Some id
-      | None ->
-          ensure_capacity g (g.count + 1);
-          let id = g.count in
-          g.configs.(id) <- cfg;
-          g.parents.(id) <- parent;
-          g.succs.(id) <- [];
-          Tbl.add g.ids cfg id;
-          g.count <- g.count + 1;
-          Some id
-
-    let make_graph ~reduction root_cfg =
+    let make_graph ~reduction ~shards =
       {
-        configs = Array.make 64 root_cfg;
-        count = 0;
-        ids = Tbl.create 1024;
-        succs = Array.make 64 [];
-        parents = Array.make 64 (-1, None);
-        expanded_flags = Bytes.make 64 '\000';
+        store = store_create ~shards;
+        succs = [||];
+        parents = [||];
+        expanded_flags = Bytes.empty;
         complete_flag = true;
         edges = 0;
         reduction;
-        sleeps = Array.make 64 [];
+        sleeps = [||];
         pruned = 0;
         sleep_hits = 0;
         proviso_hits = 0;
+        probes = 0;
       }
 
-    (* A work item: a node plus the sleep snapshot it was enqueued with.
-       With [`None] and [`Persistent] the snapshot is always empty. *)
-    type entry = { node : int; sleep : C.event list }
+    (* A work item: a node, its configuration (so the hot path never
+       unpacks), and the sleep snapshot it was enqueued with.  With [`None]
+       and [`Persistent] the snapshot is always empty. *)
+    type entry = { node : int; cfg : C.t; sleep : C.event list }
+
+    (* What the read-only probe learned about one successor.  [Dup] is
+       final (the store only grows).  [New_key] carries the packed key and
+       hash so the merge re-probes in O(1) — the config may have been
+       interned earlier in the same wave.  [New_parts] means some internal
+       state or message has never been interned, so the configuration is
+       new relative to every {e previous} wave; the merge packs it (now
+       interning the parts, sequentially and in frontier order) and
+       re-probes to dedup within the wave. *)
+    type succ_tag = Dup of int | New_key of string * int | New_parts
+
+    let classify_succ g cfg' =
+      match C.Packed.pack_ro g.store.pstore cfg' with
+      | None -> New_parts
+      | Some key -> (
+          let h = C.Packed.hash key in
+          match store_find g.store ~hash:h key with
+          | Some id -> Dup id
+          | None -> New_key (key, h))
+
+    (* Merge-phase resolution of one successor; the only place the store is
+       written. *)
+    let resolve g ~max_configs tag cfg' =
+      let finish ~hash key =
+        g.probes <- g.probes + 1;
+        match store_find g.store ~hash key with
+        | Some id -> `Dup id
+        | None ->
+            if g.store.count >= max_configs then begin
+              g.complete_flag <- false;
+              `Truncated
+            end
+            else begin
+              ensure_capacity g (g.store.count + 1);
+              `Fresh (store_add g.store ~hash key)
+            end
+      in
+      match tag with
+      | Dup id -> `Dup id
+      | New_key (key, h) -> finish ~hash:h key
+      | New_parts ->
+          let key = C.Packed.pack g.store.pstore cfg' in
+          finish ~hash:(C.Packed.hash key) key
 
     (* The pure half of one entry's expansion: everything that depends only
        on the entry's configuration and sleep snapshot.  In frontier mode
@@ -191,16 +279,20 @@ module Make (P : Protocol.S) = struct
        recorded, so its final successor list covers the ample set of its
        smallest sleep snapshot.  Pruned events produce neither edges nor
        [edges]-counter increments — only applied events count. *)
-    let expand g ~max_configs ~push ~on_intern ~on_dup ~on_trunc u plan =
+    (* [tags], when given, are the probe phase's verdicts for [plan.chosen]
+       in order; without them (sequential driver, proviso expansions) each
+       successor is classified inline — the store is quiescent either way,
+       so the two paths resolve identically. *)
+    let expand g ~max_configs ~push ~on_intern ~on_dup ~on_trunc ?tags u ~cfg plan =
       let first = Bytes.get g.expanded_flags u = '\000' in
       let existing = g.succs.(u) in
       let have e = List.exists (fun (e0, _) -> C.event_equal e0 e) existing in
       let fresh = ref false in
       let added = ref [] in
-      let do_event (e, cfg', z) =
+      let do_event tag (e, cfg', z) =
         if not (have e) then begin
-          match Tbl.find_opt g.ids cfg' with
-          | Some v ->
+          match resolve g ~max_configs tag cfg' with
+          | `Dup v ->
               added := (e, v) :: !added;
               g.edges <- g.edges + 1;
               on_dup ();
@@ -214,28 +306,37 @@ module Make (P : Protocol.S) = struct
                 in
                 if List.length inter < List.length stored then begin
                   g.sleeps.(v) <- inter;
-                  push { node = v; sleep = inter }
+                  push { node = v; cfg = cfg'; sleep = inter }
                 end
               end
-          | None ->
-              if g.count >= max_configs then begin
-                g.complete_flag <- false;
-                on_trunc ()
-              end
-              else begin
-                match intern g cfg' ~parent:(u, Some e) with
-                | Some v ->
-                    added := (e, v) :: !added;
-                    g.edges <- g.edges + 1;
-                    fresh := true;
-                    on_intern ();
-                    if g.reduction = `Sleep then g.sleeps.(v) <- z;
-                    push { node = v; sleep = z }
-                | None -> ()
-              end
+          | `Truncated -> on_trunc ()
+          | `Fresh v ->
+              g.parents.(v) <- (u, Some e);
+              g.succs.(v) <- [];
+              added := (e, v) :: !added;
+              g.edges <- g.edges + 1;
+              fresh := true;
+              on_intern ();
+              if g.reduction = `Sleep then g.sleeps.(v) <- z;
+              push { node = v; cfg = cfg'; sleep = z }
         end
       in
-      List.iter do_event plan.chosen;
+      let classify_counted cfg' =
+        let tag = classify_succ g cfg' in
+        (match tag with Dup _ | New_key _ -> g.probes <- g.probes + 1 | New_parts -> ());
+        tag
+      in
+      (match tags with
+      | Some tg ->
+          List.iteri
+            (fun i ((_, _, _) as item) ->
+              (match tg.(i) with
+              | Dup _ | New_key _ -> g.probes <- g.probes + 1
+              | New_parts -> ());
+              do_event tg.(i) item)
+            plan.chosen
+      | None ->
+          List.iter (fun ((_, cfg', _) as item) -> do_event (classify_counted cfg') item) plan.chosen);
       if first && plan.partial && plan.chosen <> [] && not !fresh then begin
         (* BFS cycle proviso (Bošnački–Holzmann): a partial expansion whose
            successors are all already visited could defer its pruned events
@@ -243,8 +344,11 @@ module Make (P : Protocol.S) = struct
            deferred successors are computed here, sequentially — pure,
            deterministic, and rare. *)
         g.proviso_hits <- g.proviso_hits + 1;
-        let cfg = g.configs.(u) in
-        List.iter (fun e -> do_event (e, C.apply cfg e, [])) plan.deferred
+        List.iter
+          (fun e ->
+            let cfg' = C.apply cfg e in
+            do_event (classify_counted cfg') (e, cfg', []))
+          plan.deferred
       end
       else if first then begin
         g.pruned <- g.pruned + plan.ample_pruned;
@@ -253,57 +357,94 @@ module Make (P : Protocol.S) = struct
       g.succs.(u) <- existing @ List.rev !added;
       Bytes.set g.expanded_flags u '\001'
 
-    let explore_sequential ~filter ~max_configs g =
+    let explore_sequential ~filter ~max_configs g root_cfg =
       let queue = Queue.create () in
-      Queue.push { node = 0; sleep = [] } queue;
+      Queue.push { node = 0; cfg = root_cfg; sleep = [] } queue;
       let nop () = () in
       while not (Queue.is_empty queue) do
-        let { node = u; sleep } = Queue.pop queue in
-        let plan = compute_plan ~filter ~reduction:g.reduction g.configs.(u) sleep in
+        let { node = u; cfg; sleep } = Queue.pop queue in
+        let plan = compute_plan ~filter ~reduction:g.reduction cfg sleep in
         expand g ~max_configs
           ~push:(fun ent -> Queue.push ent queue)
-          ~on_intern:nop ~on_dup:nop ~on_trunc:nop u plan
+          ~on_intern:nop ~on_dup:nop ~on_trunc:nop u ~cfg plan
       done
 
-    (* Frontier-batched BFS: the plan computations ([C.events] + [C.apply] +
-       ample selection) — the hot, pure part — run on a domain pool, one
-       slice of the frontier per worker; the plans are then applied
+    (* Frontier-batched BFS: the probe phase — plan computation ([C.events] +
+       [C.apply] + ample selection) plus read-only successor classification
+       against the sharded store — runs on a domain pool, one chunk of the
+       frontier at a time; the resulting (plan, tags) pairs are then merged
        {e sequentially, in frontier order} by {!expand}.  The sequential BFS
        pops its FIFO queue in exactly that order and appends children (and
        sleep requeues) behind every already-queued node, so the interleaving
-       of [intern] calls — and with it every graph ID, the [succs] ordering,
-       the [parents] witnesses, and the truncation point at [max_configs] —
-       is bit-identical to {!explore_sequential}. *)
-    let explore_frontier ?pool_metrics ?wave_hook ~filter ~jobs ~max_configs g =
-      Parallel.Pool.with_pool ?metrics:pool_metrics ~jobs (fun pool ->
-          let frontier = ref [ { node = 0; sleep = [] } ] in
+       of [store_add] calls — and with it every graph ID, the [succs]
+       ordering, the [parents] witnesses, and the truncation point at
+       [max_configs] — is bit-identical to {!explore_sequential}.
+
+       Two throughput refinements, both invisible in the result:
+
+       - waves smaller than [seq_threshold] skip the pool and run the probe
+         inline — the probe is read-only either way, so the tags (and hence
+         the merge) are identical, but a handful-of-nodes wave no longer
+         round-trips the pool barrier;
+       - the pool itself is created lazily, on the first wave big enough to
+         use it, so explorations that never cross the threshold (tiny zoo
+         graphs, [parity]) spawn no domains at all. *)
+    let explore_frontier ?pool_metrics ?wave_hook ~filter ~jobs ~seq_threshold
+        ~max_configs g root_cfg =
+      let pool = ref None in
+      let get_pool () =
+        match !pool with
+        | Some p -> p
+        | None ->
+            let p = Parallel.Pool.create ?metrics:pool_metrics ~jobs () in
+            pool := Some p;
+            p
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          match !pool with Some p -> Parallel.Pool.shutdown p | None -> ())
+        (fun () ->
+          let frontier = ref [ { node = 0; cfg = root_cfg; sleep = [] } ] in
           let wave = ref 0 in
           while !frontier <> [] do
             let w0 = if wave_hook = None then 0.0 else Obs.Clock.now () in
             let batch = Array.of_list !frontier in
-            let tasks = Array.map (fun ent -> (g.configs.(ent.node), ent.sleep)) batch in
-            let plans =
-              Parallel.Pool.map pool
-                (fun (cfg, sleep) -> compute_plan ~filter ~reduction:g.reduction cfg sleep)
-                tasks
+            let nb = Array.length batch in
+            (* Probe phase: pure per entry, store read-only. *)
+            let task ent =
+              let plan = compute_plan ~filter ~reduction:g.reduction ent.cfg ent.sleep in
+              let tags =
+                Array.of_list
+                  (List.map (fun (_, cfg', _) -> classify_succ g cfg') plan.chosen)
+              in
+              (plan, tags)
             in
+            let plans =
+              if jobs = 1 || nb < seq_threshold then Array.map task batch
+              else
+                Parallel.Pool.map
+                  ~chunk:(max 1 (1 + ((nb - 1) / (jobs * 8))))
+                  (get_pool ()) task batch
+            in
+            (* Merge phase: sequential, frontier order; the only writer. *)
             let next = ref [] in
             let interned = ref 0 in
             let dups = ref 0 in
             let truncated = ref 0 in
             Array.iteri
               (fun i ent ->
+                let plan, tags = plans.(i) in
                 expand g ~max_configs
                   ~push:(fun e -> next := e :: !next)
                   ~on_intern:(fun () -> incr interned)
                   ~on_dup:(fun () -> incr dups)
                   ~on_trunc:(fun () -> incr truncated)
-                  ent.node plans.(i))
+                  ~tags ent.node ~cfg:ent.cfg plan)
               batch;
             (match wave_hook with
             | None -> ()
             | Some hook ->
-                hook ~wave:!wave ~frontier:(Array.length batch) ~interned:!interned
+                hook ~wave:!wave ~frontier:nb ~interned:!interned
                   ~dups:!dups ~truncated:!truncated
                   ~seconds:(Obs.Clock.elapsed w0));
             incr wave;
@@ -311,14 +452,21 @@ module Make (P : Protocol.S) = struct
           done)
 
     let explore ?(filter = fun _ -> true) ?(jobs = 1) ?(obs = Obs.disabled)
-        ?(reduction = `None) ~max_configs root_cfg =
+        ?(reduction = `None) ?(shards = 64) ?(seq_threshold = 128) ~max_configs
+        root_cfg =
       if max_configs < 1 then invalid_arg "Explore.explore: max_configs must be >= 1";
       if jobs < 1 then invalid_arg "Explore.explore: jobs must be >= 1";
-      let g = make_graph ~reduction root_cfg in
-      ignore (intern g root_cfg ~parent:(-1, None));
+      if shards < 1 then invalid_arg "Explore.explore: shards must be >= 1";
+      if seq_threshold < 0 then
+        invalid_arg "Explore.explore: seq_threshold must be >= 0";
+      let g = make_graph ~reduction ~shards in
+      let root_key = C.Packed.pack g.store.pstore root_cfg in
+      ensure_capacity g 1;
+      let root_id = store_add g.store ~hash:(C.Packed.hash root_key) root_key in
+      assert (root_id = 0);
       if not (Obs.enabled obs) then begin
-        if jobs = 1 then explore_sequential ~filter ~max_configs g
-        else explore_frontier ~filter ~jobs ~max_configs g
+        if jobs = 1 then explore_sequential ~filter ~max_configs g root_cfg
+        else explore_frontier ~filter ~jobs ~seq_threshold ~max_configs g root_cfg
       end
       else begin
         (* Instrumented exploration always takes the frontier path — even at
@@ -365,10 +513,26 @@ module Make (P : Protocol.S) = struct
               ("max_configs", Flp_json.Int max_configs);
               ("reduction", Flp_json.Str (reduction_name reduction));
             ]
-          (fun () -> explore_frontier ~pool_metrics:m ~wave_hook ~filter ~jobs ~max_configs g);
+          (fun () ->
+            explore_frontier ~pool_metrics:m ~wave_hook ~filter ~jobs ~seq_threshold
+              ~max_configs g root_cfg);
         let dur = Obs.Clock.elapsed t0 in
         Obs.Metrics.add_seconds t_explore dur;
         Obs.Metrics.incr c_edges g.edges;
+        (* Sharded-intern and packed-codec structurals — all deterministic
+           across jobs values, like every other structural metric here. *)
+        Obs.Metrics.incr (Obs.Metrics.counter m "explore.shard.probes") g.probes;
+        Obs.Metrics.gauge_set (Obs.Metrics.gauge m "explore.shard.count") g.store.shard_count;
+        Obs.Metrics.gauge_set
+          (Obs.Metrics.gauge m "explore.shard.max_load")
+          (Array.fold_left (fun acc t -> max acc (KTbl.length t)) 0 g.store.shards);
+        Obs.Metrics.gauge_set (Obs.Metrics.gauge m "explore.packed.bytes") g.store.bytes;
+        Obs.Metrics.gauge_set
+          (Obs.Metrics.gauge m "explore.packed.dict_states")
+          (C.Packed.state_count g.store.pstore);
+        Obs.Metrics.gauge_set
+          (Obs.Metrics.gauge m "explore.packed.dict_msgs")
+          (C.Packed.msg_count g.store.pstore);
         (match reduction with
         | `None -> ()
         | `Persistent | `Sleep ->
@@ -376,19 +540,29 @@ module Make (P : Protocol.S) = struct
             Obs.Metrics.incr (Obs.Metrics.counter m "explore.por.sleep_hits") g.sleep_hits;
             Obs.Metrics.incr (Obs.Metrics.counter m "explore.por.proviso") g.proviso_hits);
         if dur > 0.0 then
-          Obs.Metrics.fgauge_set rate (float_of_int g.count /. dur)
+          Obs.Metrics.fgauge_set rate (float_of_int g.store.count /. dur)
       end;
       g
 
     let complete g = g.complete_flag
 
-    let size g = g.count
+    let size g = g.store.count
 
     let root _ = 0
 
-    let config g id = g.configs.(id)
+    let config g id =
+      if id < 0 || id >= g.store.count then
+        invalid_arg "Explore.config: id out of range";
+      C.Packed.unpack g.store.pstore g.store.packed.(id)
 
-    let id_of g cfg = Tbl.find_opt g.ids cfg
+    let id_of g cfg =
+      match C.Packed.pack_ro g.store.pstore cfg with
+      | None -> None  (* contains a part no stored config has: not in the graph *)
+      | Some key -> store_find g.store ~hash:(C.Packed.hash key) key
+
+    let probe_count g = g.probes
+
+    let packed_bytes g = g.store.bytes
 
     let succ g id = g.succs.(id)
 

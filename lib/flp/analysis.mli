@@ -75,6 +75,8 @@ module Make (P : Protocol.S) : sig
       ?jobs:int ->
       ?obs:Obs.t ->
       ?reduction:reduction ->
+      ?shards:int ->
+      ?seq_threshold:int ->
       max_configs:int ->
       C.t ->
       graph
@@ -83,14 +85,28 @@ module Make (P : Protocol.S) : sig
         Lemma 3 set [%C]).  Exploration stops interning new configurations
         once [max_configs] is reached; the result is then {e incomplete}.
 
+        Visited configurations are stored {e packed} ({!Config.S.Packed}) in
+        an intern table split into [shards] (default [64]) hash shards.  In
+        frontier mode the workers' successor classification probes the
+        shards read-only while the store is frozen; all writes — part
+        interning, ID assignment, shard insertion — happen in the
+        sequential frontier-order merge.  [shards] is independent of [jobs]
+        and purely a contention/throughput knob: the graph is bit-identical
+        at every value.
+
         [jobs] (default [1]) sets the number of worker domains used to
-        expand the BFS frontier: successor computations run in parallel,
-        after which the resulting configurations are interned sequentially
-        in frontier order.  The produced graph is {e bit-identical} for
-        every [jobs] value — IDs, successor-list order, parent witnesses and
-        the truncation point all match the sequential explorer — so [jobs]
-        is purely a throughput knob.  [jobs:1] runs the plain sequential
-        code path.  Raises [Invalid_argument] when [jobs < 1].
+        expand the BFS frontier: successor computation and read-only
+        duplicate probing run in parallel, after which the results are
+        merged sequentially in frontier order.  The produced graph is
+        {e bit-identical} for every [jobs] value — IDs, successor-list
+        order, parent witnesses and the truncation point all match the
+        sequential explorer — so [jobs] is purely a throughput knob.
+        [jobs:1] runs the plain sequential code path.  Waves smaller than
+        [seq_threshold] (default [128]) entries run their probe phase
+        inline instead of on the pool — same tags, same merge, no barrier
+        round-trip — and the pool is only spawned on the first wave that
+        needs it.  Raises [Invalid_argument] when [jobs < 1], [shards < 1]
+        or [seq_threshold < 0].
 
         [reduction] (default [`None]) selects the partial-order reduction
         mode; see {!type:reduction}.  Pruned events contribute neither edges
@@ -100,14 +116,19 @@ module Make (P : Protocol.S) : sig
         [explore.waves]/[explore.configs]/[explore.edges]/[explore.dedup_hits]/
         [explore.truncated], the per-wave frontier-size histogram
         [explore.wave_size], the [explore.time] timer, the derived
-        [explore.configs_per_sec] gauge, plus the pool's [pool.*] metrics,
-        and — when tracing — an [explore] span with one [explore.wave] event
-        per BFS wave.  Under a reduction mode it additionally records
-        [explore.por.pruned] (enabled events never applied),
-        [explore.por.sleep_hits] (events delegated via sleep sets) and
-        [explore.por.proviso] (cycle-proviso full expansions).  An enabled
-        [obs] routes even [jobs:1] through the frontier explorer so wave
-        records exist at every jobs level and all structural metrics are
+        [explore.configs_per_sec] gauge, plus the pool's [pool.*] metrics
+        when a pool was spawned, and — when tracing — an [explore] span with
+        one [explore.wave] event per BFS wave.  The sharded store reports
+        [explore.shard.probes] (intern-table probes, probe + merge phases),
+        the [explore.shard.count] / [explore.shard.max_load] gauges, and the
+        packed-codec gauges [explore.packed.bytes] /
+        [explore.packed.dict_states] / [explore.packed.dict_msgs].  Under a
+        reduction mode it additionally records [explore.por.pruned] (enabled
+        events never applied), [explore.por.sleep_hits] (events delegated
+        via sleep sets) and [explore.por.proviso] (cycle-proviso full
+        expansions).  An enabled [obs] routes even [jobs:1] through the
+        frontier explorer so wave records exist at every jobs level and all
+        structural metrics — including the shard and packed gauges — are
         identical across jobs values; the disabled default keeps the
         uninstrumented code paths. *)
 
@@ -143,6 +164,19 @@ module Make (P : Protocol.S) : sig
 
     val proviso_count : graph -> int
     (** Full expansions forced by the BFS cycle proviso. *)
+
+    val probe_count : graph -> int
+    (** Intern-table probes performed (read-only probe phase plus merge
+        re-probes).  Deterministic across [shards] values and across every
+        [jobs] value that uses the frontier driver; the sequential driver
+        ([jobs:1] without [obs]) probes slightly less, because a duplicate
+        arising within what would be one wave is already interned when it
+        classifies — the difference is exactly the frontier driver's
+        re-probe cost, which is what this counter exists to expose. *)
+
+    val packed_bytes : graph -> int
+    (** Total bytes of packed configuration keys stored — the graph's
+        resident configuration payload (part dictionaries excluded). *)
 
     val path_to : graph -> int -> C.event list
     (** A shortest schedule from the root to the given node. *)

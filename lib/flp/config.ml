@@ -56,6 +56,24 @@ module type S = sig
   val pp : Format.formatter -> t -> unit
 
   val pp_event : Format.formatter -> event -> unit
+
+  module Packed : sig
+    type store
+
+    val create : unit -> store
+
+    val state_count : store -> int
+
+    val msg_count : store -> int
+
+    val pack : store -> t -> string
+
+    val pack_ro : store -> t -> string option
+
+    val unpack : store -> string -> t
+
+    val hash : string -> int
+  end
 end
 
 module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg = struct
@@ -210,4 +228,166 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
           | None -> ""))
       t.states;
     Format.fprintf ppf "buffer: %a@]" MB.pp t.buffer
+
+  module Packed = struct
+    (* Hash-consed binary codec.  States and messages are interned into the
+       store's part dictionaries (first-pack order assigns ids), and a packed
+       configuration is the LEB128 varint sequence
+
+         state-id{n} . entry-count . (dest . msg-id . multiplicity){entries}
+
+       over the canonical buffer listing, so two configurations pack to the
+       same bytes iff they are [equal].  Packing is deterministic given the
+       store, and the store is deterministic given the pack order — the
+       explorer packs in intern order, which is itself bit-identical across
+       job counts.  [Marshal] is detlint-banned precisely because its bytes
+       depend on sharing and flags; this codec depends only on the protocol's
+       own equality witnesses. *)
+
+    module STbl = Hashtbl.Make (struct
+      type t = P.state
+
+      let equal = P.equal_state
+
+      let hash = P.hash_state
+    end)
+
+    module MTbl = Hashtbl.Make (struct
+      type t = P.msg
+
+      let equal m1 m2 = P.compare_msg m1 m2 = 0
+
+      let hash = P.hash_msg
+    end)
+
+    type store = {
+      state_ids : int STbl.t;
+      mutable states : P.state array;  (* id -> state; length >= state_count *)
+      mutable state_count : int;
+      msg_ids : int MTbl.t;
+      mutable msgs : P.msg array;
+      mutable msg_count : int;
+    }
+
+    let create () =
+      {
+        state_ids = STbl.create 256;
+        states = [||];
+        state_count = 0;
+        msg_ids = MTbl.create 64;
+        msgs = [||];
+        msg_count = 0;
+      }
+
+    let state_count s = s.state_count
+
+    let msg_count s = s.msg_count
+
+    let intern_state s st =
+      match STbl.find_opt s.state_ids st with
+      | Some id -> id
+      | None ->
+          let id = s.state_count in
+          if id >= Array.length s.states then begin
+            let na = Array.make (max 16 (2 * Array.length s.states)) st in
+            Array.blit s.states 0 na 0 id;
+            s.states <- na
+          end;
+          s.states.(id) <- st;
+          STbl.add s.state_ids st id;
+          s.state_count <- id + 1;
+          id
+
+    let intern_msg s m =
+      match MTbl.find_opt s.msg_ids m with
+      | Some id -> id
+      | None ->
+          let id = s.msg_count in
+          if id >= Array.length s.msgs then begin
+            let na = Array.make (max 16 (2 * Array.length s.msgs)) m in
+            Array.blit s.msgs 0 na 0 id;
+            s.msgs <- na
+          end;
+          s.msgs.(id) <- m;
+          MTbl.add s.msg_ids m id;
+          s.msg_count <- id + 1;
+          id
+
+    let add_varint buf n =
+      let rec go n =
+        if n < 0x80 then Buffer.add_char buf (Char.chr n)
+        else begin
+          Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+          go (n lsr 7)
+        end
+      in
+      go n
+
+    exception Unknown_part
+
+    (* [intern:false] must not mutate the store: it is the read-only probe
+       the parallel explorer runs from worker domains while the store is
+       frozen between waves. *)
+    let encode ~intern s (cfg : t) =
+      let state_id st =
+        if intern then intern_state s st
+        else match STbl.find_opt s.state_ids st with Some id -> id | None -> raise Unknown_part
+      in
+      let msg_id m =
+        if intern then intern_msg s m
+        else match MTbl.find_opt s.msg_ids m with Some id -> id | None -> raise Unknown_part
+      in
+      let buf = Buffer.create 32 in
+      Array.iter (fun st -> add_varint buf (state_id st)) cfg.states;
+      let entries = MB.to_list cfg.buffer in
+      add_varint buf (List.length entries);
+      List.iter
+        (fun (dest, m, mult) ->
+          add_varint buf dest;
+          add_varint buf (msg_id m);
+          add_varint buf mult)
+        entries;
+      Buffer.contents buf
+
+    let pack s t = encode ~intern:true s t
+
+    let pack_ro s t = try Some (encode ~intern:false s t) with Unknown_part -> None
+
+    let read_varint key pos =
+      let rec go shift acc pos =
+        let c = Char.code (String.unsafe_get key pos) in
+        let acc = acc lor ((c land 0x7f) lsl shift) in
+        if c < 0x80 then (acc, pos + 1) else go (shift + 7) acc (pos + 1)
+      in
+      go 0 0 pos
+
+    let unpack s key : t =
+      let pos = ref 0 in
+      let next () =
+        let v, p = read_varint key !pos in
+        pos := p;
+        v
+      in
+      let states = Array.init P.n (fun _ -> s.states.(next ())) in
+      let entries = next () in
+      let buffer = ref MB.empty in
+      for _ = 1 to entries do
+        let dest = next () in
+        let m = s.msgs.(next ()) in
+        let mult = next () in
+        for _ = 1 to mult do
+          buffer := MB.send !buffer ~dest m
+        done
+      done;
+      { states; buffer = !buffer }
+
+    (* FNV-1a, masked to 32 bits per step so the value is identical on every
+       platform word size. *)
+    let hash key =
+      let h = ref 0x811c9dc5 in
+      String.iter
+        (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land 0xffffffff)
+        key;
+      !h land max_int
+  end
 end

@@ -100,6 +100,55 @@ module type S = sig
   val pp : Format.formatter -> t -> unit
 
   val pp_event : Format.formatter -> event -> unit
+
+  (** Compact bit-packed configuration codec.
+
+      A {e store} interns every distinct internal state and message into
+      part dictionaries (hash-consing via the protocol's own
+      [equal_state]/[hash_state] and [compare_msg]/[hash_msg] witnesses);
+      a packed configuration is then the LEB128 varint sequence of its
+      part ids plus the canonical buffer listing.  Properties:
+
+      - {b injective}: [pack s c1 = pack s c2] iff [equal c1 c2] — packed
+        bytes are valid intern-table keys;
+      - {b deterministic}: the bytes depend only on the store's intern
+        order, never on memory layout or sharing ([Marshal], which does
+        depend on those, is detlint-banned);
+      - {b compact}: a configuration costs a few bytes per process plus a
+        few per distinct pending message, instead of a boxed state array
+        and a buffer map — the explorer stores millions of configurations
+        as packed strings;
+      - {b exact}: [unpack s (pack s c)] is [equal] to [c].
+
+      [pack] interns unseen parts as a side effect; [pack_ro] is the
+      read-only variant that returns [None] when some part has never been
+      interned (such a configuration cannot equal any packed one), safe to
+      call from parallel workers while no domain is packing. *)
+  module Packed : sig
+    type store
+
+    val create : unit -> store
+
+    val state_count : store -> int
+    (** Distinct internal states interned so far. *)
+
+    val msg_count : store -> int
+    (** Distinct messages interned so far. *)
+
+    val pack : store -> t -> string
+    (** Encode, interning unseen states/messages into the store. *)
+
+    val pack_ro : store -> t -> string option
+    (** Encode without mutating the store; [None] if the configuration
+        contains a state or message the store has never seen. *)
+
+    val unpack : store -> string -> t
+    (** Exact inverse of {!pack} for keys produced by this store. *)
+
+    val hash : string -> int
+    (** FNV-1a over the packed bytes — deterministic across platforms and
+        runs, cheap enough to precompute once per successor. *)
+  end
 end
 
 module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg

@@ -117,13 +117,16 @@ let check_graphs_equal label ~event_equal ~size ~complete ~edge_count ~succ ~pat
       (List.length p1 = List.length p4 && List.for_all2 event_equal p1 p4)
   done
 
+(* [seq_threshold:0] forces the pooled probe path even on tiny zoo waves —
+   otherwise every frontier under 128 entries would take the sequential fast
+   path and the pool would never be exercised. *)
 let check_protocol_deterministic ~budget ~jobs label protocol =
   let module P = (val protocol : Protocol.S) in
   let module A = Analysis.Make (P) in
   let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
   let root = A.C.initial inputs in
   let g1 = A.Explore.explore ~jobs:1 ~max_configs:budget root in
-  let gj = A.Explore.explore ~jobs ~max_configs:budget root in
+  let gj = A.Explore.explore ~jobs ~seq_threshold:0 ~max_configs:budget root in
   check_graphs_equal label
     ~event_equal:A.C.event_equal
     ~size:A.Explore.size ~complete:A.Explore.complete ~edge_count:A.Explore.edge_count
@@ -195,6 +198,162 @@ let test_filter_respected_in_parallel () =
         ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
         ~path_to:A.Explore.path_to g1 g4
 
+(* ------------------------------------------------------------------ *)
+(* Sharded intern table: shards × jobs × reduction matrix              *)
+(* ------------------------------------------------------------------ *)
+
+(* The shard count partitions the intern table by key hash; it must be a
+   pure throughput knob.  Pin the graph bit-identical over the whole
+   shards × jobs matrix, for every reduction mode, against the
+   default-shards sequential baseline — DPOR bookkeeping (pruned counts,
+   sleep hits, proviso expansions) included, since the reductions make
+   visited-set-dependent choices that would surface any merge-order drift. *)
+let test_shard_matrix_deterministic () =
+  match Zoo.find "race:2" with
+  | None -> Alcotest.fail "race:2 missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      let root = A.C.initial inputs in
+      List.iter
+        (fun reduction ->
+          let base = A.Explore.explore ~jobs:1 ~reduction ~max_configs:40_000 root in
+          (* probe counts are frontier-driver-specific (a within-wave dup
+             costs probe + merge re-probe there, but only one probe in the
+             sequential driver), so pin them against a frontier baseline *)
+          let fbase =
+            A.Explore.explore ~jobs:2 ~reduction ~seq_threshold:0 ~max_configs:40_000
+              root
+          in
+          List.iter
+            (fun shards ->
+              List.iter
+                (fun jobs ->
+                  let label =
+                    Printf.sprintf "race:2 %s shards=%d jobs=%d"
+                      (match reduction with
+                      | `None -> "none"
+                      | `Persistent -> "persistent"
+                      | `Sleep -> "sleep")
+                      shards jobs
+                  in
+                  let g =
+                    A.Explore.explore ~jobs ~reduction ~shards ~seq_threshold:0
+                      ~max_configs:40_000 root
+                  in
+                  check_graphs_equal label
+                    ~event_equal:A.C.event_equal
+                    ~size:A.Explore.size ~complete:A.Explore.complete
+                    ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+                    ~path_to:A.Explore.path_to base g;
+                  Alcotest.(check int)
+                    (label ^ ": pruned") (A.Explore.pruned_count base)
+                    (A.Explore.pruned_count g);
+                  Alcotest.(check int)
+                    (label ^ ": sleep hits")
+                    (A.Explore.sleep_hit_count base)
+                    (A.Explore.sleep_hit_count g);
+                  Alcotest.(check int)
+                    (label ^ ": proviso") (A.Explore.proviso_count base)
+                    (A.Explore.proviso_count g);
+                  if jobs > 1 then
+                    Alcotest.(check int)
+                      (label ^ ": probes") (A.Explore.probe_count fbase)
+                      (A.Explore.probe_count g);
+                  Alcotest.(check int)
+                    (label ^ ": packed bytes")
+                    (A.Explore.packed_bytes base) (A.Explore.packed_bytes g))
+                [ 1; 2; 4 ])
+            [ 1; 3; 64 ])
+        [ `None; `Persistent; `Sleep ]
+
+(* The sequential fast path (waves under [seq_threshold] probed inline) and
+   the always-pooled path must agree bit-for-bit: threshold 0 forces every
+   wave through the pool, max_int lets none through. *)
+let test_seq_threshold_equivalent () =
+  List.iter
+    (fun name ->
+      match Zoo.find name with
+      | None -> Alcotest.fail (name ^ " missing from the zoo")
+      | Some protocol ->
+          let module P = (val protocol : Protocol.S) in
+          let module A = Analysis.Make (P) in
+          let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+          let root = A.C.initial inputs in
+          let pooled =
+            A.Explore.explore ~jobs:4 ~seq_threshold:0 ~max_configs:40_000 root
+          in
+          let inline =
+            A.Explore.explore ~jobs:4 ~seq_threshold:max_int ~max_configs:40_000 root
+          in
+          check_graphs_equal (name ^ " threshold 0 vs max")
+            ~event_equal:A.C.event_equal
+            ~size:A.Explore.size ~complete:A.Explore.complete
+            ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+            ~path_to:A.Explore.path_to pooled inline)
+    [ "parity"; "race:2" ]
+
+(* Truncation and filtering must keep composing under any shard count: the
+   budget must bite at the same configuration and the filter must carve the
+   same subgraph. *)
+let test_truncation_filter_compose_with_shards () =
+  match Zoo.find "race:2" with
+  | None -> Alcotest.fail "race:2 missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      let root = A.C.initial inputs in
+      let filter (e : A.C.event) = e.dest <> 0 in
+      List.iter
+        (fun shards ->
+          let g1 = A.Explore.explore ~jobs:1 ~max_configs:500 root in
+          let gs =
+            A.Explore.explore ~jobs:4 ~shards ~seq_threshold:0 ~max_configs:500 root
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d truncates" shards)
+            false (A.Explore.complete gs);
+          check_graphs_equal
+            (Printf.sprintf "race:2 truncated @ shards=%d" shards)
+            ~event_equal:A.C.event_equal
+            ~size:A.Explore.size ~complete:A.Explore.complete
+            ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+            ~path_to:A.Explore.path_to g1 gs;
+          let f1 = A.Explore.explore ~filter ~jobs:1 ~max_configs:40_000 root in
+          let fs =
+            A.Explore.explore ~filter ~jobs:4 ~shards ~seq_threshold:0
+              ~max_configs:40_000 root
+          in
+          check_graphs_equal
+            (Printf.sprintf "race:2 filtered @ shards=%d" shards)
+            ~event_equal:A.C.event_equal
+            ~size:A.Explore.size ~complete:A.Explore.complete
+            ~edge_count:A.Explore.edge_count ~succ:A.Explore.succ
+            ~path_to:A.Explore.path_to f1 fs)
+        [ 1; 3; 64 ]
+
+let test_explore_rejects_bad_shards () =
+  match Zoo.find "parity" with
+  | None -> Alcotest.fail "parity missing from the zoo"
+  | Some protocol ->
+      let module P = (val protocol : Protocol.S) in
+      let module A = Analysis.Make (P) in
+      let inputs = Array.init P.n (fun i -> Value.of_int (i land 1)) in
+      Alcotest.(check bool) "shards:0 rejected" true
+        (try
+           ignore (A.Explore.explore ~shards:0 ~max_configs:100 (A.C.initial inputs));
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check bool) "seq_threshold:-1 rejected" true
+        (try
+           ignore
+             (A.Explore.explore ~seq_threshold:(-1) ~max_configs:100
+                (A.C.initial inputs));
+           false
+         with Invalid_argument _ -> true)
+
 let test_explore_rejects_bad_jobs () =
   match Zoo.find "parity" with
   | None -> Alcotest.fail "parity missing from the zoo"
@@ -232,5 +391,16 @@ let () =
           Alcotest.test_case "filtered exploration identical" `Quick
             test_filter_respected_in_parallel;
           Alcotest.test_case "explore rejects jobs < 1" `Quick test_explore_rejects_bad_jobs;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "shards x jobs x reduction bit-identical" `Slow
+            test_shard_matrix_deterministic;
+          Alcotest.test_case "seq_threshold paths bit-identical" `Quick
+            test_seq_threshold_equivalent;
+          Alcotest.test_case "truncation+filter compose with shards" `Quick
+            test_truncation_filter_compose_with_shards;
+          Alcotest.test_case "explore rejects bad shards/threshold" `Quick
+            test_explore_rejects_bad_shards;
         ] );
     ]
