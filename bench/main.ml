@@ -920,6 +920,29 @@ let micro () =
                   })));
       Test.make ~name:"substrate:closure-64"
         (Staged.stage (fun () -> ignore (Digraph.transitive_closure closure_graph)));
+      (* E20: the causal flight recorder — same run as E11 with the
+         happens-before DAG recorded (the delta is the recording tax), and
+         the post-hoc analyses over a recorded benor run *)
+      Test.make ~name:"E20:benor-n5-recorded"
+        (Staged.stage (fun () ->
+             ignore
+               (BE.run_recorded
+                  (Sim.Engine.default_cfg ~n:5
+                     ~inputs:(Workload.Scenario.alternating 5)
+                     ~seed:1))));
+      (let _, recorder =
+         BE.run_recorded
+           (Sim.Engine.default_cfg ~n:5
+              ~inputs:(Workload.Scenario.alternating 5)
+              ~seed:1)
+       in
+       Test.make ~name:"E20:causal-analyses"
+         (Staged.stage (fun () ->
+              for pid = 0 to Causal.Recorder.n recorder - 1 do
+                ignore (Causal.Analysis.decision_cone recorder pid)
+              done;
+              ignore (Causal.Analysis.width recorder);
+              ignore (Causal.Analysis.audit ~annotated:false recorder))));
     ]
   in
   let instances = Instance.[ monotonic_clock ] in

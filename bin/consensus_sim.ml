@@ -22,7 +22,7 @@ let parse_crash_spec n spec =
       (String.split_on_char ',' spec);
   crash_times
 
-let run app n ones crash_spec delay_spec seeds max_steps =
+let run app n ones crash_spec delay_spec seeds max_steps obs =
   let delays =
     match Sim.Delay.of_string delay_spec with
     | Ok d -> d
@@ -50,22 +50,22 @@ let run app n ones crash_spec delay_spec seeds max_steps =
     match app with
     | "ben-or" ->
         let module E = Workload.Experiment.Async (Protocols.Benor.App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "ben-or-det" ->
         let module E = Workload.Experiment.Async (Protocols.Benor.App_det) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "chandra-toueg" ->
         let module E = Workload.Experiment.Async (Protocols.Chandra_toueg.App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "2pc" ->
         let module E = Workload.Experiment.Async (Protocols.Two_phase_commit.App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "3pc" ->
         let module E = Workload.Experiment.Async (Protocols.Three_phase_commit.App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "dead-start" ->
         let module E = Workload.Experiment.Async (Protocols.Dead_start.App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "paxos" ->
         let module App = Protocols.Paxos.Make (struct
           let proposers = 2
@@ -73,7 +73,7 @@ let run app n ones crash_spec delay_spec seeds max_steps =
           let retry = Protocols.Paxos.Backoff 1.0
         end) in
         let module E = Workload.Experiment.Async (App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "paxos-eager" ->
         let module App = Protocols.Paxos.Make (struct
           let proposers = 2
@@ -81,7 +81,7 @@ let run app n ones crash_spec delay_spec seeds max_steps =
           let retry = Protocols.Paxos.Eager 1.0
         end) in
         let module E = Workload.Experiment.Async (App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | "approx" ->
         let module App = Protocols.Approx_agreement.Make (struct
           let f = (n - 1) / 2
@@ -91,7 +91,7 @@ let run app n ones crash_spec delay_spec seeds max_steps =
           let input_scale = 100.0
         end) in
         let module E = Workload.Experiment.Async (App) in
-        E.run ~seeds ~cfg ()
+        E.run ~obs ~seeds ~cfg ()
     | other ->
         Format.eprintf "unknown app %S; choose from: %s@." other (String.concat ", " apps);
         exit 1
@@ -126,10 +126,26 @@ let seeds_arg = Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N" ~doc:"Seede
 let max_steps_arg =
   Arg.(value & opt int 500_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Event budget per trial.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write sim.* metrics as JSON Lines to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a span trace as JSON Lines to $(docv).")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
+
 let cmd =
+  let main app n ones crash delays seeds max_steps metrics_file trace_file timings =
+    Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
+        run app n ones crash delays seeds max_steps obs)
+  in
   Cmd.v
     (Cmd.info "consensus_sim" ~doc:"Batch-simulate consensus and commit protocols")
-    Term.(const run $ app_arg $ n_arg $ ones_arg $ crash_arg $ delay_arg $ seeds_arg
-          $ max_steps_arg)
+    Term.(const main $ app_arg $ n_arg $ ones_arg $ crash_arg $ delay_arg $ seeds_arg
+          $ max_steps_arg $ metrics_arg $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -115,7 +115,26 @@ let run protocols policies n ones delay_spec seeds jobs max_steps reduction out 
       protocols
   in
   let seeds = List.init seeds (fun i -> i + 1) in
-  let campaign = Workload.Campaign.run ~jobs ~obs ~arms ~seeds () in
+  let campaign =
+    Obs.Span.span obs.Obs.trace "torture.campaign"
+      ~attrs:
+        [
+          ("arms", Flp_json.Int (List.length arms));
+          ("seeds", Flp_json.Int (List.length seeds));
+          ("jobs", Flp_json.Int jobs);
+        ]
+      (fun () -> Workload.Campaign.run ~jobs ~obs ~arms ~seeds ())
+  in
+  List.iter
+    (fun (c : Workload.Campaign.cell) ->
+      Obs.Span.event obs.Obs.trace "torture.cell"
+        ~attrs:
+          [
+            ("protocol", Flp_json.Str c.protocol);
+            ("policy", Flp_json.Str c.policy);
+            ("termination_probability", Flp_json.Float c.termination_probability);
+          ])
+    campaign.Workload.Campaign.cells;
   Format.printf "== torture: %d arms x %d seeds, jobs=%d, delays=%s ==@."
     (List.length arms) (List.length seeds) jobs delay_spec;
   Format.printf "%a" Workload.Campaign.pp campaign;
@@ -190,12 +209,17 @@ let metrics_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics" ] ~docv:"FILE" ~doc:"Write campaign/pool metrics as JSON Lines to $(docv).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a span trace as JSON Lines to $(docv).")
+
 let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
 
 let cmd =
-  let main protocols policies n ones delays seeds jobs max_steps por out metrics_file timings =
-    Obs.with_reporting ?metrics_file ~timings (fun obs ->
+  let main protocols policies n ones delays seeds jobs max_steps por out metrics_file
+      trace_file timings =
+    Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
         run protocols policies n ones delays seeds jobs max_steps por out obs)
   in
   Cmd.v
@@ -204,6 +228,6 @@ let cmd =
     Term.(
       const main $ protocols_arg $ policies_arg $ n_arg $ ones_arg $ delay_arg
       $ seeds_arg $ jobs_arg $ max_steps_arg $ por_arg $ out_arg $ metrics_arg
-      $ timings_arg)
+      $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

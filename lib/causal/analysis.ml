@@ -1,0 +1,161 @@
+type cone = {
+  target : int;
+  members : bool array;
+  events : int;
+  deliveries : int;
+  deliveries_before : int;
+  irrelevant : int;
+}
+
+let is_delivery (e : Recorder.event) =
+  match e.kind with Recorder.Deliver _ -> true | Init | Null | Timer _ -> false
+
+(* Ids are a topological order (both parents of an event are smaller), so the
+   backward closure is one descending sweep: mark the target, then propagate
+   membership to the parents of every marked event. *)
+let cone t target =
+  let size = Recorder.size t in
+  if target < 0 || target >= size then invalid_arg "Causal.Analysis.cone: bad target";
+  let members = Array.make size false in
+  members.(target) <- true;
+  let events = ref 0 and deliveries = ref 0 and deliveries_before = ref 0 in
+  for id = target downto 0 do
+    let e = Recorder.event t id in
+    let deliv = is_delivery e in
+    if deliv then incr deliveries_before;
+    if members.(id) then begin
+      incr events;
+      if deliv then incr deliveries;
+      if e.pred >= 0 then members.(e.pred) <- true;
+      if e.cause >= 0 then members.(e.cause) <- true
+    end
+  done;
+  {
+    target;
+    members;
+    events = !events;
+    deliveries = !deliveries;
+    deliveries_before = !deliveries_before;
+    irrelevant = !deliveries_before - !deliveries;
+  }
+
+let decision_cone t pid = Option.map (cone t) (Recorder.decision_of t pid)
+
+let critical_path t target =
+  if target < 0 || target >= Recorder.size t then
+    invalid_arg "Causal.Analysis.critical_path: bad target";
+  let rec walk id acc =
+    let e = Recorder.event t id in
+    let lam p = if p < 0 then 0 else (Recorder.event t p).lamport in
+    (* The deeper parent carries the chain; on a tie the message edge wins
+       (it is the FLP-relevant dependency), keeping the path deterministic. *)
+    let parent =
+      if e.cause >= 0 && lam e.cause >= lam e.pred then e.cause else e.pred
+    in
+    if parent < 0 then id :: acc else walk parent (id :: acc)
+  in
+  walk target []
+
+type width = { levels : int array; max_width : int; mean_width : float }
+
+let width t =
+  let size = Recorder.size t in
+  let depth = ref 0 in
+  for id = 0 to size - 1 do
+    let l = (Recorder.event t id).lamport in
+    if l > !depth then depth := l
+  done;
+  let levels = Array.make !depth 0 in
+  for id = 0 to size - 1 do
+    let l = (Recorder.event t id).lamport in
+    levels.(l - 1) <- levels.(l - 1) + 1
+  done;
+  let max_width = Array.fold_left max 0 levels in
+  let mean_width = if !depth = 0 then 0.0 else float_of_int size /. float_of_int !depth in
+  { levels; max_width; mean_width }
+
+let slacks t target =
+  let c = cone t target in
+  let horizon = (Recorder.event t target).lamport in
+  (* [down.(id)]: longest chain (in edges) from the event to the target.
+     Every cone member reaches the target by construction, so a descending
+     sweep that pushes [down] onto parents visits children first. *)
+  let down = Array.make (target + 1) 0 in
+  for id = target downto 0 do
+    if c.members.(id) then begin
+      let e = Recorder.event t id in
+      let push p = if p >= 0 && down.(p) < down.(id) + 1 then down.(p) <- down.(id) + 1 in
+      push e.pred;
+      push e.cause
+    end
+  done;
+  let out = ref [] in
+  for id = target downto 0 do
+    if c.members.(id) then begin
+      let lamport = (Recorder.event t id).lamport in
+      out := (id, horizon - lamport - down.(id)) :: !out
+    end
+  done;
+  Array.of_list !out
+
+type audit = {
+  annotated : bool;
+  edges_checked : int;
+  soundness_violations : (int * int) list;
+  pairs_checked : int;
+  concurrent_pairs : int;
+  declared_independent : int;
+  missed_pairs : int;
+  truncated : bool;
+}
+
+let audit ?(max_events = 2048) ~annotated t =
+  let size = Recorder.size t in
+  (* Soundness: every direct message edge, however long the run.  The
+     sender's recorded pre-state mask must have allowed the destination —
+     footprints are hereditary, so a mask that excludes the destination at
+     send time is a lie wherever in the run the send happened. *)
+  let edges_checked = ref 0 and violations = ref [] in
+  for id = size - 1 downto 0 do
+    let e = Recorder.event t id in
+    match e.kind with
+    | Recorder.Deliver _ when e.cause >= 0 ->
+        let sender = Recorder.event t e.cause in
+        if sender.may_mask >= 0 then begin
+          incr edges_checked;
+          if not (Indep.Audit.allows ~mask:sender.may_mask e.pid) then
+            violations := (e.cause, id) :: !violations
+        end
+    | _ -> ()
+  done;
+  (* Precision: quadratic, so capped at a deterministic prefix. *)
+  let limit = min size max_events in
+  let evt id =
+    let e = Recorder.event t id in
+    { Indep.Audit.pid = e.pid; delivery = is_delivery e; may_mask = e.may_mask }
+  in
+  let pairs = ref 0 and conc = ref 0 and declared = ref 0 and missed = ref 0 in
+  for i = 0 to limit - 1 do
+    let ei = evt i in
+    for j = i + 1 to limit - 1 do
+      incr pairs;
+      if Recorder.concurrent t i j then begin
+        incr conc;
+        if Indep.Audit.independent ei (evt j) then incr declared else incr missed
+      end
+    done
+  done;
+  {
+    annotated;
+    edges_checked = !edges_checked;
+    soundness_violations = !violations;
+    pairs_checked = !pairs;
+    concurrent_pairs = !conc;
+    declared_independent = !declared;
+    missed_pairs = !missed;
+    truncated = size > max_events;
+  }
+
+let precision a =
+  if a.concurrent_pairs = 0 then Float.nan
+  else float_of_int a.declared_independent /. float_of_int a.concurrent_pairs

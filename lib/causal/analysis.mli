@@ -1,0 +1,90 @@
+(** Decision analysis over a recorded happens-before DAG.
+
+    Everything here is a pure function of a {!Recorder.t}; event ids double
+    as a topological order (both parents of an event have smaller ids), so
+    every computation is a single forward or backward sweep. *)
+
+(** {2 Causal cones} *)
+
+type cone = {
+  target : int;  (** the event the cone ends in *)
+  members : bool array;  (** [members.(id)]: id is in the causal past (inclusive) *)
+  events : int;  (** events in the cone *)
+  deliveries : int;  (** delivery events in the cone — the messages the target
+                         actually depends on *)
+  deliveries_before : int;
+      (** delivery events with [id <= target] — everything the run had
+          consumed by then *)
+  irrelevant : int;
+      (** [deliveries_before - deliveries]: messages delivered before the
+          target that its causal past never needed *)
+}
+
+val cone : Recorder.t -> int -> cone
+(** Backward closure over the [pred] and [cause] edges. *)
+
+val decision_cone : Recorder.t -> int -> cone option
+(** The cone of the event in which the given process decided, if it did. *)
+
+(** {2 Critical paths} *)
+
+val critical_path : Recorder.t -> int -> int list
+(** The longest causal chain ending in the given event, as event ids in
+    execution order ending with the target.  Its length is the target's
+    Lamport clock — the latency lower bound: no schedule can reach this
+    decision in fewer causally ordered steps.  Ties break toward the
+    message edge, then the lower event id, so the path is deterministic. *)
+
+(** {2 Concurrency width} *)
+
+type width = {
+  levels : int array;  (** [levels.(k)]: events with Lamport clock [k + 1] —
+                           each level is an antichain of the DAG *)
+  max_width : int;
+  mean_width : float;
+}
+
+val width : Recorder.t -> width
+(** Events with equal Lamport clocks are pairwise concurrent, so the
+    per-level census is the run's concurrency-width profile: how much of
+    the schedule commuted (Lemma 1) versus how much was forced sequential. *)
+
+(** {2 Slack} *)
+
+val slacks : Recorder.t -> int -> (int * int) array
+(** For every event in the causal cone of the target: [(id, slack)] where
+    [slack] is how many chain steps the event sits off the critical path —
+    [0] exactly on it, larger values mean the event could have been delayed
+    that many causal steps without delaying the target.  Sorted by id. *)
+
+(** {2 Dynamic independence audit} *)
+
+type audit = {
+  annotated : bool;  (** whether the protocol declared may-send footprints *)
+  edges_checked : int;  (** message edges tested for footprint soundness *)
+  soundness_violations : (int * int) list;
+      (** [(sender event, delivery event)] message edges whose sender mask
+          {e forbade} the destination — the static analysis declared a pair
+          independent that the DAG proves directly dependent.  Must be
+          empty; a lying footprint corrupts DPOR. *)
+  pairs_checked : int;  (** distinct event pairs examined *)
+  concurrent_pairs : int;  (** pairs the DAG leaves unordered *)
+  declared_independent : int;
+      (** concurrent pairs the static footprints also declare independent *)
+  missed_pairs : int;
+      (** concurrent pairs the static analysis {e fails} to declare
+          independent — the precision gap that bounds any footprint-based
+          DPOR from above *)
+  truncated : bool;  (** the pair sweep was capped by [max_events] *)
+}
+
+val audit : ?max_events:int -> annotated:bool -> Recorder.t -> audit
+(** Replay the DAG against the recorded footprint masks (see
+    {!Indep.Audit}).  Soundness runs over {e every} message edge; the
+    precision sweep is quadratic and is capped at the first [max_events]
+    events (default [2048]), deterministically. *)
+
+val precision : audit -> float
+(** [declared_independent / concurrent_pairs] (nan when no concurrent
+    pairs): how much of the true dynamic concurrency the static analysis
+    certified. *)

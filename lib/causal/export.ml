@@ -1,0 +1,71 @@
+let us t = t *. 1e6
+
+let slice_name (e : Recorder.event) =
+  match e.kind with
+  | Recorder.Init -> "init"
+  | Recorder.Null -> "null"
+  | Recorder.Deliver { src; _ } -> Printf.sprintf "recv<-%d" src
+  | Recorder.Timer { tag; _ } -> Printf.sprintf "timer:%d" tag
+
+let to_events ?(pid = 0) ?(name = "flp") r =
+  let cpid = pid in
+  let flow_base = cpid * 0x1000000 in
+  let size = Recorder.size r in
+  let nprocs = Recorder.n r in
+  (* Slice durations: up to the next event of the same track, slightly
+     shortened so adjacent slices never overlap; zero-duration slices are
+     legal and render as thin marks. *)
+  let dur = Array.make size 1.0 in
+  let last_of = Array.make nprocs (-1) in
+  for id = size - 1 downto 0 do
+    let e = Recorder.event r id in
+    let gap =
+      match last_of.(e.pid) with
+      | -1 -> 1.0
+      | next -> 0.9 *. (us (Recorder.event r next).time -. us e.time)
+    in
+    dur.(id) <- Float.max 0.0 gap;
+    last_of.(e.pid) <- id
+  done;
+  let buf = ref [] in
+  let push ev = buf := ev :: !buf in
+  for id = size - 1 downto 0 do
+    let e = Recorder.event r id in
+    let ts_us = us e.time in
+    (match e.decision with
+    | Some v ->
+        push
+          (Obs.Chrome.instant ~cat:"decision"
+             ~args:[ ("value", Flp_json.Int v); ("eid", Flp_json.Int id) ]
+             ~pid:cpid ~tid:e.pid ~ts_us
+             (Printf.sprintf "decide=%d" v))
+    | None -> ());
+    (match e.kind with
+    | Recorder.Deliver _ when e.cause >= 0 ->
+        let sender = Recorder.event r e.cause in
+        push (Obs.Chrome.flow_end ~cat:"msg" ~pid:cpid ~tid:e.pid ~ts_us ~id:(flow_base + id) "msg");
+        push
+          (Obs.Chrome.flow_start ~cat:"msg" ~pid:cpid ~tid:sender.pid
+             ~ts_us:(us sender.time) ~id:(flow_base + id) "msg")
+    | Recorder.Timer _ when e.cause >= 0 ->
+        let sender = Recorder.event r e.cause in
+        push (Obs.Chrome.flow_end ~cat:"timer" ~pid:cpid ~tid:e.pid ~ts_us ~id:(flow_base + id) "timer");
+        push
+          (Obs.Chrome.flow_start ~cat:"timer" ~pid:cpid ~tid:sender.pid
+             ~ts_us:(us sender.time) ~id:(flow_base + id) "timer")
+    | _ -> ());
+    push
+      (Obs.Chrome.complete ~cat:"step"
+         ~args:[ ("eid", Flp_json.Int id); ("lamport", Flp_json.Int e.lamport) ]
+         ~pid:cpid ~tid:e.pid ~ts_us ~dur_us:dur.(id) (slice_name e))
+  done;
+  for pid = nprocs - 1 downto 0 do
+    push (Obs.Chrome.thread_name ~pid:cpid ~tid:pid (Printf.sprintf "p%d" pid))
+  done;
+  push (Obs.Chrome.process_name ~pid:cpid name);
+  !buf
+
+let to_json ?pid ?name r = Obs.Chrome.trace (to_events ?pid ?name r)
+
+let write ?pid ?name path r =
+  Obs.Sink.with_file path (fun sink -> Obs.Sink.emit sink (to_json ?pid ?name r))

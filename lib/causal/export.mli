@@ -1,0 +1,23 @@
+(** Perfetto-ready Chrome trace export of a recorded run.
+
+    The mapping: one Chrome process (pid 0, named after the run), one thread
+    track per simulated process, one complete slice per recorded event
+    (simulated seconds scaled to microseconds), a flow arrow per message
+    edge (so Perfetto draws the happens-before DAG across tracks), and an
+    instant marker on each decision.  Built from the generic
+    {!Obs.Chrome} primitives, so the output loads in [chrome://tracing] and
+    Perfetto alongside {!Obs.Chrome.of_span_records} conversions. *)
+
+val to_events : ?pid:int -> ?name:string -> Recorder.t -> Obs.Chrome.event list
+(** The full trace-event list, deterministically ordered: metadata first,
+    then slices/flows/instants in event-id order.  [pid] (default 0) is the
+    Chrome process id — give each run its own pid to merge several runs
+    into one viewable trace.  Flow ids are offset by [pid * 2^24] so merged
+    runs' arrows never collide. *)
+
+val to_json : ?pid:int -> ?name:string -> Recorder.t -> Flp_json.t
+(** {!to_events} wrapped as the [{"traceEvents": [...]}] document. *)
+
+val write : ?pid:int -> ?name:string -> string -> Recorder.t -> unit
+(** Write {!to_json} to the path.  Raises {!Obs.Sink.Unwritable} when the
+    path cannot be opened. *)

@@ -1,0 +1,174 @@
+type kind =
+  | Init
+  | Null
+  | Deliver of { src : int; sid : int }
+  | Timer of { tag : int; sid : int }
+
+type event = {
+  id : int;
+  pid : int;
+  time : float;
+  kind : kind;
+  pred : int;
+  cause : int;
+  lamport : int;
+  vclock : int array;
+  may_mask : int;
+  mutable decision : int option;
+  mutable sends : int;
+}
+
+(* A send record: which event emitted it and who it is bound for.  Timer
+   arms share the table (a timer is a message to self with a delay). *)
+type send_rec = { src_eid : int; s_dst : int; s_timer : bool }
+
+type t = {
+  nprocs : int;
+  mutable evs : event array;
+  mutable len : int;
+  mutable sends_tbl : send_rec array;
+  mutable slen : int;
+  last : int array;  (* last event id per process, -1 *)
+  decided_at : int array;  (* event id of the first decision per process, -1 *)
+  mutable deliveries : int;
+}
+
+let dummy_event =
+  {
+    id = -1;
+    pid = -1;
+    time = 0.0;
+    kind = Init;
+    pred = -1;
+    cause = -1;
+    lamport = 0;
+    vclock = [||];
+    may_mask = -1;
+    decision = None;
+    sends = 0;
+  }
+
+let dummy_send = { src_eid = -1; s_dst = -1; s_timer = false }
+
+let create ~n =
+  if n < 1 || n > 62 then invalid_arg "Causal.Recorder.create: n must be in [1, 62]";
+  {
+    nprocs = n;
+    evs = Array.make 64 dummy_event;
+    len = 0;
+    sends_tbl = Array.make 64 dummy_send;
+    slen = 0;
+    last = Array.make n (-1);
+    decided_at = Array.make n (-1);
+    deliveries = 0;
+  }
+
+let n t = t.nprocs
+
+let size t = t.len
+
+let event t id =
+  if id < 0 || id >= t.len then invalid_arg "Causal.Recorder.event: bad id";
+  t.evs.(id)
+
+let grow_evs t =
+  if t.len = Array.length t.evs then begin
+    let bigger = Array.make (2 * Array.length t.evs) dummy_event in
+    Array.blit t.evs 0 bigger 0 t.len;
+    t.evs <- bigger
+  end
+
+let grow_sends t =
+  if t.slen = Array.length t.sends_tbl then begin
+    let bigger = Array.make (2 * Array.length t.sends_tbl) dummy_send in
+    Array.blit t.sends_tbl 0 bigger 0 t.slen;
+    t.sends_tbl <- bigger
+  end
+
+let send_src t sid = if sid < 0 || sid >= t.slen then -1 else t.sends_tbl.(sid).src_eid
+
+let step t ~pid ~time ~kind ~may =
+  if pid < 0 || pid >= t.nprocs then invalid_arg "Causal.Recorder.step: bad pid";
+  let cause =
+    match kind with
+    | Init | Null -> -1
+    | Deliver { sid; _ } | Timer { sid; _ } -> send_src t sid
+  in
+  let pred = t.last.(pid) in
+  let vclock =
+    match pred with
+    | -1 -> Array.make t.nprocs 0
+    | p -> Array.copy t.evs.(p).vclock
+  in
+  (if cause >= 0 then
+     let cv = t.evs.(cause).vclock in
+     for i = 0 to t.nprocs - 1 do
+       if cv.(i) > vclock.(i) then vclock.(i) <- cv.(i)
+     done);
+  vclock.(pid) <- vclock.(pid) + 1;
+  let parent_lamport e = if e < 0 then 0 else t.evs.(e).lamport in
+  let lamport = 1 + max (parent_lamport pred) (parent_lamport cause) in
+  let id = t.len in
+  grow_evs t;
+  t.evs.(id) <-
+    {
+      id;
+      pid;
+      time;
+      kind;
+      pred;
+      cause;
+      lamport;
+      vclock;
+      may_mask = may;
+      decision = None;
+      sends = 0;
+    };
+  t.len <- id + 1;
+  t.last.(pid) <- id;
+  (match kind with Deliver _ -> t.deliveries <- t.deliveries + 1 | Init | Null | Timer _ -> ());
+  id
+
+let add_send t ~eid ~dst ~timer =
+  if eid < 0 || eid >= t.len then invalid_arg "Causal.Recorder.send: bad eid";
+  let sid = t.slen in
+  grow_sends t;
+  t.sends_tbl.(sid) <- { src_eid = eid; s_dst = dst; s_timer = timer };
+  t.slen <- sid + 1;
+  let e = t.evs.(eid) in
+  e.sends <- e.sends + 1;
+  sid
+
+let send t ~eid ~dst ~time:_ = add_send t ~eid ~dst ~timer:false
+
+let arm t ~eid ~time:_ =
+  let pid = t.evs.(eid).pid in
+  add_send t ~eid ~dst:pid ~timer:true
+
+let decide t ~eid ~value =
+  if eid < 0 || eid >= t.len then invalid_arg "Causal.Recorder.decide: bad eid";
+  let e = t.evs.(eid) in
+  e.decision <- Some value;
+  if t.decided_at.(e.pid) = -1 then t.decided_at.(e.pid) <- eid
+
+let sent_count t = t.slen
+
+let delivered_count t = t.deliveries
+
+let decision_of t pid =
+  if pid < 0 || pid >= t.nprocs then invalid_arg "Causal.Recorder.decision_of: bad pid";
+  match t.decided_at.(pid) with -1 -> None | eid -> Some eid
+
+let last_event_of t pid =
+  if pid < 0 || pid >= t.nprocs then invalid_arg "Causal.Recorder.last_event_of: bad pid";
+  t.last.(pid)
+
+(* a < b iff a's own component is dominated by b's clock: b has seen a. *)
+let happens_before t a b =
+  let ea = event t a and eb = event t b in
+  a <> b && eb.vclock.(ea.pid) >= ea.vclock.(ea.pid)
+
+let concurrent t a b =
+  a <> b && (not (happens_before t a b)) && not (happens_before t b a)
+
+let events t = Array.sub t.evs 0 t.len

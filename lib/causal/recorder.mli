@@ -1,0 +1,113 @@
+(** The causal flight recorder: a happens-before DAG of executed steps.
+
+    FLP's whole argument is causal — Lemma 1 says disjoint steps commute,
+    and a decision is forced only by the messages in its causal past.  The
+    recorder makes that structure observable at runtime: every executed step
+    (an init step, a delivery, a timer firing, or a model null step) becomes
+    an {e event} with
+
+    - a {b dense id} assigned in execution (delivery) order, so ids are
+      byte-identical across replays of the same run and across any [~jobs]
+      level of a driver that runs whole trials in parallel;
+    - a {b program-order edge} [pred] to the previous event of the same
+      process;
+    - a {b message edge} [cause] to the event that sent the delivered
+      message (or armed the fired timer) — the "parent" that made this step
+      possible;
+    - {b Lamport and vector clocks}, maintained incrementally from the two
+      parents, so happens-before queries are O(1) array reads;
+    - the {b may-send footprint mask} of the pre-state the step consumed
+      (for the dynamic independence audit, see {!Indep.Audit});
+    - the decision value the step wrote, if any, and the number of messages
+      it sent.
+
+    The recorder is single-writer: one simulation (or one model replay)
+    feeds it from one domain.  Drivers that parallelise across {e trials}
+    give each trial its own recorder. *)
+
+type kind =
+  | Init  (** a process's first step, taken before any delivery *)
+  | Null  (** a model null step [(p, 0)] (schedule replays only) *)
+  | Deliver of { src : int; sid : int }
+      (** receipt of a message: [src] is the sending process, [sid] the
+          send record created by {!send} (or [-1] when unknown) *)
+  | Timer of { tag : int; sid : int }
+      (** a local timer fired; [sid] is the {!arm} record *)
+
+type event = {
+  id : int;  (** dense, in execution order *)
+  pid : int;
+  time : float;  (** simulated instant the step executed *)
+  kind : kind;
+  pred : int;  (** previous event of the same process, [-1] for the first *)
+  cause : int;  (** event that sent/armed what this step consumed, [-1] *)
+  lamport : int;
+      (** [1 + max(lamport pred, lamport cause)] — the length of the longest
+          causal chain ending in this event, i.e. its critical-path depth *)
+  vclock : int array;
+      (** vector clock: [vclock.(p)] counts the events of process [p] in
+          this event's causal past (inclusive).  Owned by the recorder; do
+          not mutate. *)
+  may_mask : int;
+      (** may-send footprint of the pre-state: bit [d] set iff the stepping
+          process could still send to [d]; [-1] when unknown/unannotated *)
+  mutable decision : int option;  (** decision value written by this step *)
+  mutable sends : int;  (** messages sent (and timers armed) by this step *)
+}
+
+type t
+
+val create : n:int -> t
+(** A fresh recorder for [n] processes.  Raises [Invalid_argument] when
+    [n < 1] or [n > 62] (footprint masks are single-word bitmasks). *)
+
+val n : t -> int
+
+val size : t -> int
+(** Events recorded so far; ids are [0 .. size - 1]. *)
+
+val event : t -> int -> event
+(** Raises [Invalid_argument] for an out-of-range id. *)
+
+val step : t -> pid:int -> time:float -> kind:kind -> may:int -> int
+(** Record one executed step and return its id.  [may] is the pre-state
+    footprint mask ([-1] for unknown).  For [Deliver]/[Timer] kinds the
+    [cause] edge is resolved through the [sid]; the clocks are computed
+    incrementally from [pred] and [cause]. *)
+
+val send : t -> eid:int -> dst:int -> time:float -> int
+(** Record that event [eid] handed a message for [dst] to the network;
+    returns the send id the eventual delivery must quote. *)
+
+val arm : t -> eid:int -> time:float -> int
+(** Record that event [eid] armed a local timer (a causal self-edge);
+    returns the send id the firing must quote. *)
+
+val decide : t -> eid:int -> value:int -> unit
+(** Record that event [eid] wrote the output register. *)
+
+val send_src : t -> int -> int
+(** The event that created the given send id ([-1] for [sid = -1]). *)
+
+val sent_count : t -> int
+(** Send records created (messages handed to the network plus timers armed). *)
+
+val delivered_count : t -> int
+(** Events of kind [Deliver]. *)
+
+val decision_of : t -> int -> int option
+(** [decision_of t p] is the id of the event in which process [p] wrote its
+    output register, if it ever did.  Write-once: the first write wins. *)
+
+val last_event_of : t -> int -> int
+(** Most recent event of the process, [-1] if it never stepped. *)
+
+val happens_before : t -> int -> int -> bool
+(** [happens_before t a b]: is event [a] in the (strict) causal past of
+    [b]?  O(1) via vector clocks. *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither ordered before the other (and distinct). *)
+
+val events : t -> event array
+(** A fresh array of all events in id order. *)

@@ -1,0 +1,159 @@
+let kind_token (e : Recorder.event) =
+  match e.kind with
+  | Recorder.Init -> "init"
+  | Recorder.Null -> "null"
+  | Recorder.Deliver { src; _ } -> Printf.sprintf "r<-%d" src
+  | Recorder.Timer { tag; _ } -> Printf.sprintf "t:%d" tag
+
+let depth r =
+  let d = ref 0 in
+  for id = 0 to Recorder.size r - 1 do
+    let l = (Recorder.event r id).lamport in
+    if l > !d then d := l
+  done;
+  !d
+
+let summary b r =
+  Printf.bprintf b "events=%d deliveries=%d sends=%d depth=%d\n" (Recorder.size r)
+    (Recorder.delivered_count r) (Recorder.sent_count r) (depth r);
+  for pid = 0 to Recorder.n r - 1 do
+    match Recorder.decision_of r pid with
+    | None -> ()
+    | Some eid ->
+        let e = Recorder.event r eid in
+        let v = match e.decision with Some v -> v | None -> assert false in
+        Printf.bprintf b "decide p%d=%d @e%d lamport=%d\n" pid v eid e.lamport
+  done
+
+let path_token r id =
+  let e = Recorder.event r id in
+  Printf.sprintf "e%d(p%d:%s)" id e.pid (kind_token e)
+
+let render_chain b r ids =
+  let n = List.length ids in
+  let arr = Array.of_list ids in
+  let emit i = Buffer.add_string b (path_token r arr.(i)) in
+  if n <= 20 then
+    Array.iteri
+      (fun i _ ->
+        if i > 0 then Buffer.add_string b " -> ";
+        emit i)
+      arr
+  else begin
+    for i = 0 to 11 do
+      if i > 0 then Buffer.add_string b " -> ";
+      emit i
+    done;
+    Printf.bprintf b " -> ...(%d elided)... " (n - 16);
+    for i = n - 4 to n - 1 do
+      emit i;
+      if i < n - 1 then Buffer.add_string b " -> "
+    done
+  end
+
+let critical_paths b r =
+  for pid = 0 to Recorder.n r - 1 do
+    match Recorder.decision_of r pid with
+    | None -> ()
+    | Some eid ->
+        let path = Analysis.critical_path r eid in
+        Printf.bprintf b "critical p%d len=%d: " pid (List.length path);
+        render_chain b r path;
+        Buffer.add_char b '\n'
+  done
+
+let cone b r ~pid =
+  match Recorder.decision_of r pid with
+  | None -> Printf.bprintf b "cone p%d: no decision\n" pid
+  | Some eid ->
+      let c = Analysis.cone r eid in
+      let pct =
+        if c.deliveries_before = 0 then 0.0
+        else 100.0 *. float_of_int c.deliveries /. float_of_int c.deliveries_before
+      in
+      Printf.bprintf b
+        "cone p%d target=e%d events=%d deliveries=%d/%d (%.1f%%) irrelevant=%d\n" pid
+        eid c.events c.deliveries c.deliveries_before pct c.irrelevant;
+      let slacks = Analysis.slacks r eid in
+      let zero = ref 0 and maxs = ref 0 and total = ref 0 in
+      Array.iter
+        (fun (_, s) ->
+          if s = 0 then incr zero;
+          if s > !maxs then maxs := s;
+          total := !total + s)
+        slacks;
+      let n = Array.length slacks in
+      Printf.bprintf b "slack p%d: zero=%d max=%d mean=%.2f of %d\n" pid !zero !maxs
+        (if n = 0 then 0.0 else float_of_int !total /. float_of_int n)
+        n
+
+let width b r =
+  let w = Analysis.width r in
+  let levels = w.Analysis.levels in
+  let shown = min (Array.length levels) 24 in
+  Printf.bprintf b "width depth=%d max=%d mean=%.2f levels=[" (Array.length levels)
+    w.Analysis.max_width w.Analysis.mean_width;
+  for i = 0 to shown - 1 do
+    if i > 0 then Buffer.add_char b ',';
+    Printf.bprintf b "%d" levels.(i)
+  done;
+  if Array.length levels > shown then
+    Printf.bprintf b ",..+%d" (Array.length levels - shown);
+  Buffer.add_string b "]\n"
+
+let audit b ~annotated r =
+  let a = Analysis.audit ~annotated r in
+  List.iter
+    (fun (src, dst) ->
+      let es = Recorder.event r src and ed = Recorder.event r dst in
+      Printf.bprintf b "VIOLATION e%d(p%d) sent to e%d(p%d) outside its footprint\n" src
+        es.Recorder.pid dst ed.Recorder.pid)
+    a.Analysis.soundness_violations;
+  let precision =
+    let p = Analysis.precision a in
+    if Float.is_nan p then "na" else Printf.sprintf "%.4f" p
+  in
+  Printf.bprintf b
+    "audit annotated=%b edges=%d violations=%d pairs=%d concurrent=%d declared=%d \
+     missed=%d precision=%s%s\n"
+    a.Analysis.annotated a.Analysis.edges_checked
+    (List.length a.Analysis.soundness_violations)
+    a.Analysis.pairs_checked a.Analysis.concurrent_pairs a.Analysis.declared_independent
+    a.Analysis.missed_pairs precision
+    (if a.Analysis.truncated then " (truncated)" else "");
+  a
+
+let record_metrics ?worker ?audit m r =
+  let open Obs.Metrics in
+  incr ?worker (counter m "causal.events") (Recorder.size r);
+  incr ?worker (counter m "causal.deliveries") (Recorder.delivered_count r);
+  incr ?worker (counter m "causal.sends") (Recorder.sent_count r);
+  gauge_max (gauge m "causal.depth.max") (depth r);
+  let w = Analysis.width r in
+  gauge_max (gauge m "causal.width.max") w.Analysis.max_width;
+  let cp_hist = histogram m "causal.critical_path.len" ~lo:0.0 ~hi:256.0 ~bins:32 in
+  let slack_hist = histogram m "causal.slack" ~lo:0.0 ~hi:64.0 ~bins:32 in
+  for pid = 0 to Recorder.n r - 1 do
+    match Recorder.decision_of r pid with
+    | None -> ()
+    | Some eid ->
+        let e = Recorder.event r eid in
+        observe ?worker cp_hist (float_of_int e.Recorder.lamport);
+        let c = Analysis.cone r eid in
+        incr ?worker (counter m "causal.cone.events") c.Analysis.events;
+        incr ?worker (counter m "causal.cone.deliveries") c.Analysis.deliveries;
+        incr ?worker (counter m "causal.cone.irrelevant") c.Analysis.irrelevant;
+        Array.iter
+          (fun (_, s) -> observe ?worker slack_hist (float_of_int s))
+          (Analysis.slacks r eid)
+  done;
+  match audit with
+  | None -> ()
+  | Some a ->
+      incr ?worker (counter m "causal.audit.edges") a.Analysis.edges_checked;
+      incr ?worker
+        (counter m "causal.audit.violations")
+        (List.length a.Analysis.soundness_violations);
+      incr ?worker (counter m "causal.audit.concurrent") a.Analysis.concurrent_pairs;
+      incr ?worker (counter m "causal.audit.declared") a.Analysis.declared_independent;
+      incr ?worker (counter m "causal.audit.missed") a.Analysis.missed_pairs

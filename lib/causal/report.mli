@@ -1,0 +1,42 @@
+(** Deterministic text rendering and metrics for recorded runs.
+
+    Shared by [bin/flp_causal] and the tests: every renderer appends fixed
+    [Printf]-formatted lines to a caller-owned buffer, so the output of a
+    whole run is a pure function of the recorder — the byte-identity
+    contract across [--jobs] levels reduces to building these buffers in a
+    deterministic cell order. *)
+
+val summary : Buffer.t -> Recorder.t -> unit
+(** The run headline: event/delivery/send counts, DAG depth, and one
+    [decide] line per decided process. *)
+
+val critical_paths : Buffer.t -> Recorder.t -> unit
+(** One line per decided process: the longest causal chain ending in its
+    decision, rendered as [e<id>(p<pid>:<kind>)] tokens (elided in the
+    middle beyond 20 entries). *)
+
+val cone : Buffer.t -> Recorder.t -> pid:int -> unit
+(** The decision cone of the process: how many of the deliveries the run
+    had consumed by decision time the decision causally needed, plus the
+    slack profile of the cone.  Renders a [no decision] line for an
+    undecided process. *)
+
+val width : Buffer.t -> Recorder.t -> unit
+(** The per-level concurrency-width profile (level census elided beyond 24
+    levels). *)
+
+val audit : Buffer.t -> annotated:bool -> Recorder.t -> Analysis.audit
+(** Render the dynamic-independence audit (one line per soundness
+    violation, then the counts) and return it so callers can act on
+    violations. *)
+
+val record_metrics :
+  ?worker:int ->
+  ?audit:Analysis.audit ->
+  Obs.Metrics.t ->
+  Recorder.t ->
+  unit
+(** Record the [causal.*] metrics family: event/delivery/send counters, DAG
+    depth and max width gauges, critical-path-length and slack histograms,
+    per-decision cone counters, and — when an audit is supplied — its
+    soundness/precision counters. *)

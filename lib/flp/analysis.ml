@@ -1341,4 +1341,72 @@ module Make (P : Protocol.S) = struct
        with Exit -> ());
       { stages = List.rev !done_stages; steps = !steps; outcome = !outcome }
   end
+
+  module Causality = struct
+    let mask_of c pid =
+      if not C.footprints_annotated then -1
+      else begin
+        let mask = ref 0 in
+        for d = 0 to C.n - 1 do
+          if C.may_send_to c pid d then mask := !mask lor (1 lsl d)
+        done;
+        !mask
+      end
+
+    let record inputs schedule =
+      let r = Causal.Recorder.create ~n:C.n in
+      (* Send-order bookkeeping: the buffer is a multiset, so a delivered
+         message is matched to the {e earliest} recorded send of an equal
+         message to the same destination — the same FIFO convention the
+         adversary uses, and deterministic because sends are recorded in
+         application order. *)
+      let pending = ref [] in
+      let take_sid dest msg =
+        let rec go acc = function
+          | [] -> (-1, List.rev acc)
+          | (d, m, sid) :: rest when d = dest && P.compare_msg m msg = 0 ->
+              (sid, List.rev_append acc rest)
+          | s :: rest -> go (s :: acc) rest
+        in
+        let sid, rest = go [] !pending in
+        pending := rest;
+        sid
+      in
+      let step_no = ref 0 in
+      let apply c (ev : C.event) =
+        let pid = ev.C.dest in
+        let kind =
+          match ev.C.msg with
+          | None -> Causal.Recorder.Null
+          | Some m ->
+              (* The model's events carry no sender; provenance comes from
+                 the send bookkeeping.  [src] below is recovered from the
+                 matched send record. *)
+              let sid = take_sid pid m in
+              let src = Causal.Recorder.send_src r sid in
+              let src = if src < 0 then -1 else (Causal.Recorder.event r src).pid in
+              Causal.Recorder.Deliver { src; sid }
+        in
+        let eid =
+          Causal.Recorder.step r ~pid ~time:(float_of_int !step_no) ~kind
+            ~may:(mask_of c pid)
+        in
+        incr step_no;
+        let before = (C.decisions c).(pid) in
+        let c', sends = C.apply_with_sends c ev in
+        List.iter
+          (fun (dst, m) ->
+            let sid =
+              Causal.Recorder.send r ~eid ~dst ~time:(float_of_int !step_no)
+            in
+            pending := !pending @ [ (dst, m, sid) ])
+          sends;
+        (match ((C.decisions c').(pid), before) with
+        | Some v, None -> Causal.Recorder.decide r ~eid ~value:(Value.to_int v)
+        | _ -> ());
+        c'
+      in
+      let _final = List.fold_left apply (C.initial inputs) schedule in
+      r
+  end
 end

@@ -418,6 +418,22 @@ module Make (P : Protocol.S) : sig
         the adversary's own mode). *)
   end
 
+  module Causality : sig
+    val record : Value.t array -> C.event list -> Causal.Recorder.t
+    (** Replay a schedule from the initial configuration for [inputs] into a
+        causal flight recorder: each event becomes a recorder step (null
+        steps included), each send a provenance edge, matched FIFO per
+        [(destination, message)] under [P.compare_msg] — the same send-order
+        convention the adversary uses — and each first write of an output
+        register a decision.  Footprint masks are evaluated on the
+        pre-configuration via {!Config.S.may_send_to} (all [-1] when
+        {!Config.S.footprints_annotated} is false); times are step indices.
+        This is how model-checker witnesses (adversary stages, blocking
+        runs, fair cycles) get critical paths and independence audits
+        without rerunning the simulator.  Raises [C.Not_applicable] exactly
+        where {!Config.S.apply} would. *)
+  end
+
   module Adversary : sig
     (** The Theorem 1 construction: run the system in stages.  A queue of
         processes is maintained; each stage ends with the head process

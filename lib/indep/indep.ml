@@ -87,3 +87,17 @@ module Make (S : SYSTEM) = struct
       | _ -> full enabled
     end
 end
+
+module Audit = struct
+  type evt = { pid : int; delivery : bool; may_mask : int }
+
+  let allows ~mask dst = mask < 0 || mask land (1 lsl dst) <> 0
+
+  (* The mask-level mirror of [Make.independent]: the recorded [may_mask] of
+     an event plays the role of [may_send c ~src:(pid e)] evaluated at the
+     configuration the event stepped from. *)
+  let independent e1 e2 =
+    e1.pid <> e2.pid
+    && (not (e2.delivery && allows ~mask:e1.may_mask e2.pid))
+    && not (e1.delivery && allows ~mask:e2.may_mask e1.pid)
+end

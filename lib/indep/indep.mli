@@ -93,3 +93,31 @@ module Make (S : SYSTEM) : sig
       collapses to all processes, or when the best group contributes no
       enabled event. *)
 end
+
+(** Dynamic-audit entry point: the same disjoint-footprint independence
+    test, evaluated over {e recorded} per-event footprint masks instead of a
+    live configuration.  A causal flight recorder ([lib/causal]) stores, for
+    every executed step, the bitmask of destinations the stepping process's
+    {!Protocol.S.may_send}-style annotation still allowed {e from the state
+    the step consumed}; replaying the happens-before DAG against
+    {!Audit.independent} then measures the static analysis — a message edge
+    between events the mask calls unreachable is a {b soundness} violation
+    (the annotation lied), and a concurrent pair the mask refuses to declare
+    independent is a {b precision} gap (reduction the DPOR left on the
+    table). *)
+module Audit : sig
+  type evt = { pid : int; delivery : bool; may_mask : int }
+  (** One executed step: the process it stepped, whether it consumed a
+      message, and the may-send footprint of its pre-state as a bitmask —
+      bit [d] set iff the process may still send to [d]; [-1] means
+      {e unknown} (unannotated protocol), which behaves as all-bits-set. *)
+
+  val allows : mask:int -> int -> bool
+  (** [allows ~mask d]: may the mask's owner still send to [d]?  Always
+      [true] for the unknown mask [-1]. *)
+
+  val independent : evt -> evt -> bool
+  (** Mask-level mirror of {!Make.independent}: distinct pids, and no
+      may-send edge from either event's process into a delivery of the
+      other. *)
+end

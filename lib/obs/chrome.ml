@@ -1,0 +1,78 @@
+type event = Flp_json.t
+
+let meta ~pid ~tid which name =
+  Flp_json.Obj
+    [
+      ("ph", Flp_json.Str "M");
+      ("name", Flp_json.Str which);
+      ("pid", Flp_json.Int pid);
+      ("tid", Flp_json.Int tid);
+      ("args", Flp_json.Obj [ ("name", Flp_json.Str name) ]);
+    ]
+
+let process_name ~pid name = meta ~pid ~tid:0 "process_name" name
+
+let thread_name ~pid ~tid name = meta ~pid ~tid "thread_name" name
+
+let base ?(cat = "") ~ph ~pid ~tid ~ts_us name rest =
+  let fields =
+    ("ph", Flp_json.Str ph)
+    :: ("name", Flp_json.Str name)
+    :: (if cat = "" then [] else [ ("cat", Flp_json.Str cat) ])
+    @ ("pid", Flp_json.Int pid)
+      :: ("tid", Flp_json.Int tid)
+      :: ("ts", Flp_json.Float ts_us)
+      :: rest
+  in
+  Flp_json.Obj fields
+
+let args_field = function [] -> [] | args -> [ ("args", Flp_json.Obj args) ]
+
+let complete ?cat ?(args = []) ~pid ~tid ~ts_us ~dur_us name =
+  base ?cat ~ph:"X" ~pid ~tid ~ts_us name
+    (("dur", Flp_json.Float dur_us) :: args_field args)
+
+let instant ?cat ?(args = []) ~pid ~tid ~ts_us name =
+  base ?cat ~ph:"i" ~pid ~tid ~ts_us name
+    (("s", Flp_json.Str "t") :: args_field args)
+
+let flow_start ?cat ~pid ~tid ~ts_us ~id name =
+  base ?cat ~ph:"s" ~pid ~tid ~ts_us name [ ("id", Flp_json.Int id) ]
+
+let flow_end ?cat ~pid ~tid ~ts_us ~id name =
+  base ?cat ~ph:"f" ~pid ~tid ~ts_us name
+    [ ("bp", Flp_json.Str "e"); ("id", Flp_json.Int id) ]
+
+let trace events = Flp_json.Obj [ ("traceEvents", Flp_json.List events) ]
+
+let of_span_records records =
+  let str key j = match Flp_json.member key j with Some (Str s) -> Some s | _ -> None in
+  let num key j =
+    match Flp_json.member key j with
+    | Some (Float f) -> Some f
+    | Some (Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let us s = s *. 1e6 in
+  List.filter_map
+    (fun r ->
+      match (str "type" r, str "name" r) with
+      | Some "span", Some name -> (
+          match (num "start_s" r, num "dur_s" r, num "depth" r) with
+          | Some start, Some dur, Some depth ->
+              Some
+                (complete ~cat:"span" ~pid:0 ~tid:(int_of_float depth)
+                   ~ts_us:(us start) ~dur_us:(us dur) name)
+          | _ -> None)
+      | Some "event", Some name -> (
+          match (num "t_s" r, num "depth" r) with
+          | Some t, Some depth ->
+              Some
+                (instant ~cat:"event" ~pid:0 ~tid:(int_of_float depth)
+                   ~ts_us:(us t) name)
+          | _ -> None)
+      | _ -> None)
+    records
+
+let write_file path events =
+  Sink.with_file path (fun sink -> Sink.emit sink (trace events))

@@ -1,0 +1,65 @@
+(** Chrome trace-event JSON builders.
+
+    The {{:https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU}
+    trace-event format} is what [chrome://tracing] and Perfetto load: a
+    single JSON object [{"traceEvents": [...]}] whose entries are flat
+    records tagged by a phase character.  We emit the subset those viewers
+    render: metadata ([M]) naming processes and threads, complete slices
+    ([X]) with microsecond [ts]/[dur], instants ([i]), and flow arrows
+    ([s]/[f]) that draw an edge between two slices — the causal library
+    uses flows for message edges, and {!of_span_records} lifts the existing
+    {!Span} JSONL schema into the same format so one viewer serves both. *)
+
+type event = Flp_json.t
+(** One trace-event record. *)
+
+val process_name : pid:int -> string -> event
+(** Metadata naming a process track. *)
+
+val thread_name : pid:int -> tid:int -> string -> event
+(** Metadata naming a thread track within a process. *)
+
+val complete :
+  ?cat:string ->
+  ?args:(string * Flp_json.t) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  event
+(** A complete slice ([ph = "X"]): a named interval on a thread track.
+    Timestamps and durations are in microseconds, per the format. *)
+
+val instant :
+  ?cat:string ->
+  ?args:(string * Flp_json.t) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  string ->
+  event
+(** A thread-scoped instant ([ph = "i"], [s = "t"]). *)
+
+val flow_start :
+  ?cat:string -> pid:int -> tid:int -> ts_us:float -> id:int -> string -> event
+(** The tail of a flow arrow ([ph = "s"]).  The [id] pairs it with its
+    {!flow_end}; viewers bind each endpoint to the enclosing slice. *)
+
+val flow_end :
+  ?cat:string -> pid:int -> tid:int -> ts_us:float -> id:int -> string -> event
+(** The head of a flow arrow ([ph = "f"], [bp = "e"]: bind to the enclosing
+    slice even if it started earlier). *)
+
+val trace : event list -> Flp_json.t
+(** Wrap events as the [{"traceEvents": [...]}] document viewers expect. *)
+
+val of_span_records : Flp_json.t list -> event list
+(** Lift parsed {!Span} JSONL records ([{"type":"span",...}] /
+    [{"type":"event",...}]) into trace events on process 0, one thread per
+    nesting depth, seconds scaled to microseconds.  Records of any other
+    shape are skipped. *)
+
+val write_file : string -> event list -> unit
+(** Write the wrapped trace as a single JSON document.  Raises
+    {!Sink.Unwritable} when the path cannot be opened. *)

@@ -2,6 +2,7 @@ module Clock = Clock
 module Sink = Sink
 module Metrics = Metrics
 module Span = Span
+module Chrome = Chrome
 
 type t = { metrics : Metrics.t; trace : Span.t }
 
@@ -11,19 +12,44 @@ let create ?(metrics = Metrics.disabled) ?(trace = Span.disabled) () = { metrics
 
 let enabled t = Metrics.enabled t.metrics || Span.enabled t.trace
 
-let with_reporting ?metrics_file ?trace_file ?(timings = false) f =
+let default_on_unwritable ~path ~reason =
+  Format.eprintf "error: cannot open %s for writing: %s@." path reason;
+  exit 2
+
+let with_reporting ?metrics_file ?trace_file ?(timings = false)
+    ?(on_unwritable = default_on_unwritable) f =
   let metrics =
     if metrics_file <> None || timings then Metrics.create () else Metrics.disabled
   in
-  let finish result =
-    (match metrics_file with
-    | Some path -> Sink.with_file path (fun sink -> Metrics.emit metrics sink)
-    | None -> ());
-    if timings then Format.eprintf "== timings ==@.%a@." Metrics.pp metrics;
-    result
+  let open_reported path =
+    try Sink.open_out_checked path
+    with Sink.Unwritable { path; reason } as e ->
+      on_unwritable ~path ~reason;
+      raise e
   in
-  match trace_file with
-  | Some path ->
-      Sink.with_file path (fun sink ->
-          finish (f { metrics; trace = Span.create sink }))
-  | None -> finish (f { metrics; trace = Span.disabled })
+  let close_quietly oc = try close_out oc with Sys_error _ -> () in
+  (* Open every requested file up front: a bad [--metrics]/[--trace] path
+     must fail before the run, not after it has burnt its budget. *)
+  let metrics_oc = Option.map open_reported metrics_file in
+  let trace_oc =
+    try Option.map open_reported trace_file
+    with e ->
+      Option.iter close_quietly metrics_oc;
+      raise e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter close_quietly metrics_oc;
+      Option.iter close_quietly trace_oc)
+    (fun () ->
+      let trace =
+        match trace_oc with
+        | Some oc -> Span.create (Sink.of_channel oc)
+        | None -> Span.disabled
+      in
+      let result = f { metrics; trace } in
+      (match metrics_oc with
+      | Some oc -> Metrics.emit metrics (Sink.of_channel oc)
+      | None -> ());
+      if timings then Format.eprintf "== timings ==@.%a@." Metrics.pp metrics;
+      result)

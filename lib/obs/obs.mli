@@ -20,6 +20,7 @@ module Clock = Clock
 module Sink = Sink
 module Metrics = Metrics
 module Span = Span
+module Chrome = Chrome
 
 type t = { metrics : Metrics.t; trace : Span.t }
 (** What instrumented code threads around: a metrics registry plus a span
@@ -36,9 +37,20 @@ val enabled : t -> bool
     building attribute lists or reading clocks. *)
 
 val with_reporting :
-  ?metrics_file:string -> ?trace_file:string -> ?timings:bool -> (t -> 'a) -> 'a
-(** CLI plumbing shared by [flp_check], [flp_lint], and [flp_adversary]:
-    build an {!t} from the [--metrics FILE] / [--trace FILE] / [--timings]
-    flags, run the body with it, then write the metrics JSONL, print the
-    timing table to stderr, and close the trace file (even on exceptions).
-    With no flag set the body receives {!disabled}. *)
+  ?metrics_file:string ->
+  ?trace_file:string ->
+  ?timings:bool ->
+  ?on_unwritable:(path:string -> reason:string -> unit) ->
+  (t -> 'a) ->
+  'a
+(** CLI plumbing shared by the binaries: build an {!t} from the
+    [--metrics FILE] / [--trace FILE] / [--timings] flags, run the body with
+    it, then write the metrics JSONL, print the timing table to stderr, and
+    close every file (even on exceptions).  With no flag set the body
+    receives {!disabled}.
+
+    Both files are opened {e before} the body runs, so an unwritable path
+    fails fast: [on_unwritable] is called with the path and the system
+    reason, then {!Sink.Unwritable} is raised.  The default handler prints
+    [error: cannot open PATH for writing: REASON] to stderr and exits with
+    code 2 — tests override it to observe the failure in-process. *)

@@ -27,6 +27,17 @@ let emit t json =
           Buffer.add_char b '\n');
       Mutex.unlock lock
 
+exception Unwritable of { path : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unwritable { path; reason } ->
+        Some (Printf.sprintf "cannot open %s for writing: %s" path reason)
+    | _ -> None)
+
+let open_out_checked path =
+  try open_out path with Sys_error reason -> raise (Unwritable { path; reason })
+
 let with_file path f =
-  let oc = open_out path in
+  let oc = open_out_checked path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (of_channel oc))

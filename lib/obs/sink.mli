@@ -22,6 +22,16 @@ val is_null : t -> bool
 val emit : t -> Flp_json.t -> unit
 (** Append one record as a compact single line terminated by ['\n']. *)
 
+exception Unwritable of { path : string; reason : string }
+(** Raised (instead of a bare [Sys_error]) when an output path cannot be
+    opened, so CLIs can fail fast with the offending path before doing any
+    work.  A printer is registered, so an uncaught one still names the
+    path. *)
+
+val open_out_checked : string -> out_channel
+(** [open_out] that raises {!Unwritable} rather than [Sys_error]. *)
+
 val with_file : string -> (t -> 'a) -> 'a
 (** [with_file path f] opens (truncates) [path], applies [f] to a sink over
-    it, and closes the file even if [f] raises. *)
+    it, and closes the file even if [f] raises.  Raises {!Unwritable} when
+    the path cannot be opened. *)

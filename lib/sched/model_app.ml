@@ -22,4 +22,18 @@ module Make (P : Flp.Protocol.S) = struct
     (st', actions (P.output st) st' sends)
 
   let on_timer ~n:_ ~pid:_ st ~tag:_ = (st, [])
+
+  let annotated = Option.is_some P.may_send
+
+  let may_mask =
+    match P.may_send with
+    | None -> None
+    | Some may ->
+        Some
+          (fun ~pid st ->
+            let mask = ref 0 in
+            for d = 0 to P.n - 1 do
+              if may ~pid st d then mask := !mask lor (1 lsl d)
+            done;
+            !mask)
 end

@@ -18,5 +18,15 @@
     The simulated [cfg.n] must equal [P.n] ([Invalid_argument] otherwise);
     inputs are the usual 0/1 ints, mapped through [Flp.Value]. *)
 
-module Make (P : Flp.Protocol.S) :
-  Sim.Engine.APP with type state = P.state and type msg = P.msg
+module Make (P : Flp.Protocol.S) : sig
+  include Sim.Engine.APP with type state = P.state and type msg = P.msg
+
+  val annotated : bool
+  (** Whether [P.may_send] is declared — i.e. whether recorded footprint
+      masks carry information the independence audit can judge. *)
+
+  val may_mask : (pid:int -> state -> int) option
+  (** [P.may_send] folded into the bitmask form [Sim.Engine.run_recorded]
+      expects: bit [d] set iff the process may still send to [d] from the
+      given state.  [None] exactly when the protocol is unannotated. *)
+end

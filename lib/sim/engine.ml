@@ -72,13 +72,19 @@ let decided_count r =
   Array.fold_left (fun acc d -> if d = None then acc else acc + 1) 0 r.decisions
 
 module Make (A : APP) = struct
-  type ev = Deliver of { dest : int; src : int; msg : A.msg } | Timer of { pid : int; tag : int }
+  (* [sid] is the causal send id when a flight recorder is attached
+     ([run_recorded]), [-1] otherwise; it links each delivery back to the
+     event that sent it. *)
+  type ev =
+    | Deliver of { dest : int; src : int; msg : A.msg; sid : int }
+    | Timer of { pid : int; tag : int; sid : int }
 
   let no_corruption ~pid:_ actions = actions
 
   let no_trace (_ : Trace.event) = ()
 
-  let run_states_corrupted ?(obs = Obs.disabled) ?policy cfg ~on_event ~corrupt ~trace =
+  let run_states_corrupted ?(obs = Obs.disabled) ?policy ?recorder cfg ~on_event ~corrupt
+      ~trace =
     if Array.length cfg.inputs <> cfg.n then invalid_arg "Engine.run: inputs length";
     if Array.length cfg.crash_times <> cfg.n then invalid_arg "Engine.run: crash_times length";
     let metrics = obs.Obs.metrics in
@@ -121,8 +127,8 @@ module Make (A : APP) = struct
           let push ~time ev =
             let kind =
               match ev with
-              | Deliver { dest; src; msg = _ } -> Scheduler.Msg { src; dst = dest }
-              | Timer { pid; tag } -> Scheduler.Tmr { pid; tag }
+              | Deliver { dest; src; _ } -> Scheduler.Msg { src; dst = dest }
+              | Timer { pid; tag; _ } -> Scheduler.Tmr { pid; tag }
             in
             ignore (Scheduler.Table.add table ~ready_at:time ~sent_at:!now ~kind ev)
           in
@@ -160,10 +166,39 @@ module Make (A : APP) = struct
           (push, pop, fun () -> Scheduler.Table.size table)
     in
     let violation fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+    (* Flight-recorder hooks.  [cur_eid] is the event id of the step whose
+       actions are currently being applied, so every send/arm/decide it emits
+       gets the right provenance edge.  All four hooks are no-ops when no
+       recorder is attached. *)
+    let cur_eid = ref (-1) in
+    let rec_step ~pid ~kind st =
+      match recorder with
+      | None -> ()
+      | Some (r, may) ->
+          let mask =
+            match (may, st) with Some f, Some st -> f ~pid st | _ -> -1
+          in
+          cur_eid := Causal.Recorder.step r ~pid ~time:!now ~kind ~may:mask
+    in
+    let rec_send ~dst =
+      match recorder with
+      | None -> -1
+      | Some (r, _) -> Causal.Recorder.send r ~eid:!cur_eid ~dst ~time:!now
+    in
+    let rec_arm () =
+      match recorder with
+      | None -> -1
+      | Some (r, _) -> Causal.Recorder.arm r ~eid:!cur_eid ~time:!now
+    in
+    let rec_decide v =
+      match recorder with
+      | None -> ()
+      | Some (r, _) -> Causal.Recorder.decide r ~eid:!cur_eid ~value:v
+    in
     let send ~src ~dest msg =
       incr sent;
       let latency = Delay.sample cfg.delays net_rng in
-      push ~time:(!now +. latency) (Deliver { dest; src; msg });
+      push ~time:(!now +. latency) (Deliver { dest; src; msg; sid = rec_send ~dst:dest });
       if instrumented then Obs.Metrics.gauge_max g_hwm (queue_size ())
     in
     let rec apply_actions pid actions =
@@ -179,7 +214,7 @@ module Make (A : APP) = struct
           done;
           apply_actions pid rest
       | Set_timer (delay, tag) :: rest ->
-          push ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag });
+          push ~time:(!now +. Float.max 0.0 delay) (Timer { pid; tag; sid = rec_arm () });
           if instrumented then Obs.Metrics.gauge_max g_hwm (queue_size ());
           apply_actions pid rest
       | Decide v :: rest ->
@@ -187,6 +222,7 @@ module Make (A : APP) = struct
           | None ->
               decisions.(pid) <- Some v;
               decision_times.(pid) <- !now;
+              rec_decide v;
               trace (Trace.Decision { time = !now; pid; value = v })
           | Some w when w = v -> ()
           | Some w -> violation "p%d re-decided %d after %d (write-once violated)" pid v w);
@@ -198,6 +234,10 @@ module Make (A : APP) = struct
        configuration with an empty buffer. *)
     for pid = 0 to cfg.n - 1 do
       if not (crashed pid) then begin
+        (* The init step has no recorded pre-state, so its footprint mask is
+           unknown (-1): the audit skips its sends rather than judging them
+           against a post-init mask that may already exclude them. *)
+        rec_step ~pid ~kind:Causal.Recorder.Init None;
         let st, actions = A.init ~n:cfg.n ~pid ~input:cfg.inputs.(pid) ~rng:proc_rngs.(pid) in
         states.(pid) <- Some st;
         apply_actions pid actions
@@ -230,12 +270,14 @@ module Make (A : APP) = struct
             now := t;
             incr steps;
             match ev with
-            | Deliver { dest; src; msg } ->
+            | Deliver { dest; src; msg; sid } ->
                 if not (crashed dest) then begin
                   incr delivered;
                   delivered_to.(dest) <- delivered_to.(dest) + 1;
                   on_event t (Printf.sprintf "deliver %d->%d" src dest);
                   trace (Trace.Delivery { time = t; src; dst = dest });
+                  rec_step ~pid:dest ~kind:(Causal.Recorder.Deliver { src; sid })
+                    states.(dest);
                   match states.(dest) with
                   | None -> ()
                   | Some st ->
@@ -243,10 +285,11 @@ module Make (A : APP) = struct
                       states.(dest) <- Some st';
                       apply_actions dest actions
                 end
-            | Timer { pid; tag } ->
+            | Timer { pid; tag; sid } ->
                 if not (crashed pid) then begin
                   on_event t (Printf.sprintf "timer p%d tag=%d" pid tag);
                   trace (Trace.Timer_fired { time = t; pid; tag });
+                  rec_step ~pid ~kind:(Causal.Recorder.Timer { tag; sid }) states.(pid);
                   match states.(pid) with
                   | None -> ()
                   | Some st ->
@@ -296,6 +339,14 @@ module Make (A : APP) = struct
     fst
       (run_states_corrupted ?obs ~policy cfg ~on_event:quiet ~corrupt:no_corruption
          ~trace:no_trace)
+
+  let run_recorded ?obs ?policy ?may cfg =
+    let r = Causal.Recorder.create ~n:cfg.n in
+    let result, _ =
+      run_states_corrupted ?obs ?policy ~recorder:(r, may) cfg ~on_event:quiet
+        ~corrupt:no_corruption ~trace:no_trace
+    in
+    (result, r)
 
   let run_traced ?obs cfg =
     let events = ref [] in

@@ -107,6 +107,24 @@ module Make (A : APP) : sig
       deliveries, timer firings, decisions, and crashes, ready for
       {!Trace.pp_diagram}. *)
 
+  val run_recorded :
+    ?obs:Obs.t ->
+    ?policy:A.msg Scheduler.policy ->
+    ?may:(pid:int -> A.state -> int) ->
+    cfg ->
+    result * Causal.Recorder.t
+  (** Like [run] (or [run_scheduled] when [policy] is given), with a causal
+      flight recorder attached: every executed step becomes a
+      {!Causal.Recorder} event — dense ids in delivery order, program-order
+      and message edges, Lamport/vector clocks — and every send, timer arm,
+      and decision is linked to the step that performed it.  [may], when
+      given, computes the may-send footprint bitmask of the {e pre-}state a
+      delivery or timer step consumes (bit [d] set iff the process may still
+      send to [d]); init steps have no recorded pre-state and carry the
+      unknown mask [-1].  Recording costs one array write per step/send and
+      never affects the schedule, so results match [run] exactly.  Requires
+      [cfg.n <= 62] (footprint masks are single-word bitmasks). *)
+
   val run_scheduled : ?obs:Obs.t -> policy:A.msg Scheduler.policy -> cfg -> result
   (** Like [run], but the given (possibly {e content-adaptive}) policy
       overrides [cfg.sched]: at every step the policy — which may read

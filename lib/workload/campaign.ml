@@ -19,6 +19,7 @@ type cell = {
   termination_probability : float;
   termination_ci95 : float;
   survival : (float * float) array;
+  latency_hist : Stats.Histogram.t;
 }
 
 type t = { seeds : int list; cells : cell list }
@@ -70,6 +71,17 @@ let survival_curve trials =
      Trials that never terminated keep the curve from reaching zero. *)
   Array.mapi (fun k t -> (t, float_of_int (n - (k + 1)) /. float_of_int n)) times
 
+(* Fixed bounds so cells are comparable across arms and runs; the edge
+   bins saturate, so slow outliers still count. *)
+let latency_hist_of trials =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:20.0 ~bins:40 in
+  List.iter
+    (fun t ->
+      if t.outcome = Sim.Engine.All_decided && not (Float.is_nan t.last_decision)
+      then Stats.Histogram.add h t.last_decision)
+    trials;
+  h
+
 let cell_of_trials ~protocol ~policy trials =
   let agg =
     List.fold_left
@@ -102,6 +114,7 @@ let cell_of_trials ~protocol ~policy trials =
     termination_probability = p;
     termination_ci95 = ci;
     survival = survival_curve trials;
+    latency_hist = latency_hist_of trials;
   }
 
 let run ?(jobs = 1) ?(obs = Obs.disabled) ~arms ~seeds () =
@@ -134,6 +147,23 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ~arms ~seeds () =
   in
   { seeds; cells }
 
+let hist_to_json h =
+  let bins = ref [] in
+  for i = Stats.Histogram.bins h - 1 downto 0 do
+    let count = Stats.Histogram.bin_count h i in
+    if count > 0 then begin
+      let lo, hi = Stats.Histogram.bin_bounds h i in
+      bins :=
+        Flp_json.Obj
+          [ ("lo", Flp_json.Float lo); ("hi", Flp_json.Float hi);
+            ("count", Flp_json.Int count) ]
+        :: !bins
+    end
+  done;
+  Flp_json.Obj
+    [ ("count", Flp_json.Int (Stats.Histogram.count h));
+      ("bins", Flp_json.List !bins) ]
+
 let cell_to_json c =
   Flp_json.Obj
     [
@@ -148,6 +178,7 @@ let cell_to_json c =
              (Array.map
                 (fun (t, s) -> Flp_json.List [ Flp_json.Float t; Flp_json.Float s ])
                 c.survival)) );
+      ("decision_latency_hist", hist_to_json c.latency_hist);
     ]
 
 let to_json ?(meta = []) t =

@@ -41,6 +41,11 @@ type cell = {
   survival : (float * float) array;
       (** [(t, S(t))] at each completion time, sorted by [t]; never reaches
           0 while some trial stayed undecided *)
+  latency_hist : Stats.Histogram.t;
+      (** decision-latency distribution over the cell's fully-decided
+          trials: fixed bounds [\[0, 20)] over 40 bins (saturating edges),
+          so cells are comparable across arms and serialised as
+          [decision_latency_hist] in {!to_json} *)
 }
 
 type t = { seeds : int list; cells : cell list }

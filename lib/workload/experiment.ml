@@ -65,11 +65,11 @@ module Async (A : Sim.Engine.APP) = struct
 
   let run_one cfg = E.run cfg
 
-  let run ~seeds ~cfg () =
+  let run ?(obs = Obs.disabled) ~seeds ~cfg () =
     List.fold_left
       (fun acc seed ->
         let c = cfg ~seed in
-        let r = E.run c in
+        let r = E.run ~obs c in
         let last_decision =
           Array.fold_left
             (fun m t -> if Float.is_nan t then m else Float.max m t)

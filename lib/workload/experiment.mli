@@ -36,12 +36,15 @@ val summary_to_json : Stats.Summary.t -> Flp_json.t
 
 module Async (A : Sim.Engine.APP) : sig
   val run :
+    ?obs:Obs.t ->
     seeds:int list ->
     cfg:(seed:int -> Sim.Engine.cfg) ->
     unit ->
     aggregate
   (** Run one trial per seed; [cfg] builds the per-trial configuration (so a
-      scenario can vary inputs or crashes with the seed). *)
+      scenario can vary inputs or crashes with the seed).  [obs] (default
+      {!Obs.disabled}) is threaded into every engine run, accumulating the
+      [sim.*] metrics across the whole batch. *)
 
   val run_one : Sim.Engine.cfg -> Sim.Engine.result
 end

@@ -198,6 +198,57 @@ let test_with_reporting_writes_metrics_file () =
     (Flp_json.member "metric" j = Some (Flp_json.Str "wr.count"));
   Alcotest.(check bool) "value" true (Flp_json.member "value" j = Some (Flp_json.Int 3))
 
+let test_with_reporting_writes_trace_file () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Obs.with_reporting ~trace_file:path (fun obs ->
+      Obs.Span.span obs.Obs.trace "tr.outer" (fun () -> ()));
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  let j = parse_line line in
+  Alcotest.(check bool) "span name" true
+    (Flp_json.member "name" j = Some (Flp_json.Str "tr.outer"))
+
+(* Fail-fast on unwritable report paths: the handler fires with the bad
+   path, Sink.Unwritable propagates, and the body never runs. *)
+let check_unwritable ~which () =
+  let bad = "/nonexistent-dir-for-obs-tests/out.jsonl" in
+  let seen = ref None in
+  let on_unwritable ~path ~reason = seen := Some (path, reason) in
+  let body _ = Alcotest.fail "body must not run on an unwritable path" in
+  (match
+     match which with
+     | `Metrics -> Obs.with_reporting ~metrics_file:bad ~on_unwritable body
+     | `Trace -> Obs.with_reporting ~trace_file:bad ~on_unwritable body
+   with
+  | () -> Alcotest.fail "expected Sink.Unwritable"
+  | exception Obs.Sink.Unwritable { path; reason } ->
+      Alcotest.(check string) "exception carries the path" bad path;
+      Alcotest.(check bool) "exception carries a reason" true (reason <> ""));
+  match !seen with
+  | Some (path, reason) ->
+      Alcotest.(check string) "handler saw the path" bad path;
+      Alcotest.(check bool) "handler saw a reason" true (reason <> "")
+  | None -> Alcotest.fail "on_unwritable handler not called"
+
+let test_unwritable_metrics = check_unwritable ~which:`Metrics
+let test_unwritable_trace = check_unwritable ~which:`Trace
+
+let test_unwritable_trace_closes_metrics () =
+  (* A bad --trace path must not leak the already-opened metrics file. *)
+  let good = Filename.temp_file "obs_metrics" ".jsonl" in
+  let bad = "/nonexistent-dir-for-obs-tests/trace.jsonl" in
+  (match
+     Obs.with_reporting ~metrics_file:good ~trace_file:bad
+       ~on_unwritable:(fun ~path:_ ~reason:_ -> ())
+       (fun _ -> Alcotest.fail "body must not run")
+   with
+  | () -> Alcotest.fail "expected Sink.Unwritable"
+  | exception Obs.Sink.Unwritable { path; _ } ->
+      Alcotest.(check string) "trace path failed" bad path);
+  Sys.remove good
+
 (* ------------------------------------------------------------------ *)
 (* Instrumented explorer: same records at every jobs level             *)
 (* ------------------------------------------------------------------ *)
@@ -374,6 +425,14 @@ let () =
           Alcotest.test_case "metrics round-trip" `Quick test_metrics_jsonl_roundtrip;
           Alcotest.test_case "with_reporting writes the file" `Quick
             test_with_reporting_writes_metrics_file;
+          Alcotest.test_case "with_reporting writes the trace" `Quick
+            test_with_reporting_writes_trace_file;
+          Alcotest.test_case "unwritable metrics path fails fast" `Quick
+            test_unwritable_metrics;
+          Alcotest.test_case "unwritable trace path fails fast" `Quick
+            test_unwritable_trace;
+          Alcotest.test_case "bad trace path closes metrics file" `Quick
+            test_unwritable_trace_closes_metrics;
         ] );
       ( "explore",
         [
