@@ -100,7 +100,16 @@ let arms_for ~pname ~policies ~n ~ones ~delays ~max_steps ~reduction =
             policies)
   | other -> die "unknown protocol %S (ben-or | ben-or-det | zoo:NAME)" other
 
-let run protocols policies n ones delay_spec seeds jobs max_steps reduction out obs =
+let parse_hist_bounds s =
+  match String.split_on_char ',' s with
+  | [ lo; hi; bins ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi, int_of_string_opt bins) with
+      | Some lo, Some hi, Some bins when lo < hi && bins > 0 -> (lo, hi, bins)
+      | _ -> die "bad --hist-bounds %S (want LO,HI,BINS with LO < HI, BINS > 0)" s)
+  | _ -> die "bad --hist-bounds %S (want LO,HI,BINS)" s
+
+let run protocols policies n ones delay_spec seeds jobs max_steps reduction
+    hist_bounds out obs =
   let protocols = if protocols = [] then [ "ben-or" ] else protocols in
   let policy_strs =
     if policies = [] then [ "oblivious"; "starve:0"; "rr-killer" ] else policies
@@ -115,6 +124,9 @@ let run protocols policies n ones delay_spec seeds jobs max_steps reduction out 
       protocols
   in
   let seeds = List.init seeds (fun i -> i + 1) in
+  let hist_lo, hist_hi, hist_bins =
+    match hist_bounds with None -> (0.0, 20.0, 40) | Some s -> parse_hist_bounds s
+  in
   let campaign =
     Obs.Span.span obs.Obs.trace "torture.campaign"
       ~attrs:
@@ -123,7 +135,8 @@ let run protocols policies n ones delay_spec seeds jobs max_steps reduction out 
           ("seeds", Flp_json.Int (List.length seeds));
           ("jobs", Flp_json.Int jobs);
         ]
-      (fun () -> Workload.Campaign.run ~jobs ~obs ~arms ~seeds ())
+      (fun () ->
+        Workload.Campaign.run ~jobs ~obs ~hist_lo ~hist_hi ~hist_bins ~arms ~seeds ())
   in
   List.iter
     (fun (c : Workload.Campaign.cell) ->
@@ -201,6 +214,11 @@ let por_arg =
            $(b,none), $(b,persistent) or $(b,sleep).  A smaller oracle table, \
            but a weaker chase (interior valences may under-approximate).")
 
+let hist_bounds_arg =
+  Arg.(value & opt (some string) None
+       & info [ "hist-bounds" ] ~docv:"LO,HI,BINS"
+           ~doc:"Decision-latency histogram bounds. Default: 0,20,40.")
+
 let out_arg =
   Arg.(value & opt string "BENCH_adversary.json"
        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON output path.")
@@ -217,17 +235,18 @@ let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print a wall-time metrics table to stderr at exit.")
 
 let cmd =
-  let main protocols policies n ones delays seeds jobs max_steps por out metrics_file
-      trace_file timings =
+  let main protocols policies n ones delays seeds jobs max_steps por hist_bounds out
+      metrics_file trace_file timings =
     Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
-        run protocols policies n ones delays seeds jobs max_steps por out obs)
+        run protocols policies n ones delays seeds jobs max_steps por hist_bounds out
+          obs)
   in
   Cmd.v
     (Cmd.info "flp_torture"
        ~doc:"Torture consensus protocols under adversarial schedulers")
     Term.(
       const main $ protocols_arg $ policies_arg $ n_arg $ ones_arg $ delay_arg
-      $ seeds_arg $ jobs_arg $ max_steps_arg $ por_arg $ out_arg $ metrics_arg
-      $ trace_arg $ timings_arg)
+      $ seeds_arg $ jobs_arg $ max_steps_arg $ por_arg $ hist_bounds_arg $ out_arg
+      $ metrics_arg $ trace_arg $ timings_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,47 @@
+(** Per-shard measurement sink for the service workload.
+
+    One collector per engine run, mutated single-threadedly from inside the
+    {!Mux} as the simulation executes, then frozen into an immutable
+    {!shard} for the deterministic cross-shard merge in {!Report}.  Latency
+    samples are kept in completion order — engine event order, hence
+    deterministic — so the frozen shard is byte-stable at any [--jobs]. *)
+
+type t
+
+val create : clients:int -> t
+
+val command_submitted : t -> unit
+
+val command_completed : t -> client:int -> latency:float -> time:float -> unit
+(** [client] is the global client id within the shard; [time] the simulated
+    completion instant (advances the makespan watermark). *)
+
+val instance_opened : t -> unit
+(** Also advances the in-flight high-water mark. *)
+
+val instance_decided : t -> unit
+
+val replica_learned : t -> unit
+(** A non-owner replica learned an outcome (conservation: in a drained run
+    every decided instance is learned by all [n - 1] other replicas). *)
+
+(** Frozen per-shard totals. *)
+type shard = {
+  submitted : int;
+  completed : int;
+  opened : int;
+  decided : int;
+  learns : int;
+  peak_inflight : int;
+  last_completion : float;  (** simulated instant of the last completion; 0 if none *)
+  latencies : float array;  (** completion order *)
+  per_client : int array;  (** completed commands per global client id *)
+  steps : int;
+  sent : int;
+  delivered : int;
+  end_time : float;
+  outcome : string;  (** engine outcome: all-decided | quiescent | limit *)
+  wall_s : float;  (** host wall-clock seconds for this shard's run *)
+}
+
+val freeze : t -> result:Sim.Engine.result -> wall_s:float -> shard

@@ -1,0 +1,31 @@
+type t =
+  | Closed of { think : float; ops : int }
+  | Open of { rate : float; horizon : float }
+
+let to_string = function
+  | Closed { think; ops } -> Printf.sprintf "closed:%g:%d" think ops
+  | Open { rate; horizon } -> Printf.sprintf "open:%g:%g" rate horizon
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  let bad () =
+    Error
+      (Printf.sprintf "bad load %S (expected closed:THINK:OPS | open:RATE:HORIZON)" s)
+  in
+  match String.split_on_char ':' s with
+  | [ "closed"; think; ops ] -> (
+      match (float_of_string_opt think, int_of_string_opt ops) with
+      | Some think, Some ops when think >= 0.0 && ops > 0 -> Ok (Closed { think; ops })
+      | _ -> bad ())
+  | [ "open"; rate; horizon ] -> (
+      match (float_of_string_opt rate, float_of_string_opt horizon) with
+      | Some rate, Some horizon when rate > 0.0 && horizon > 0.0 ->
+          Ok (Open { rate; horizon })
+      | _ -> bad ())
+  | _ -> bad ()
+
+let think_delay ~think rng =
+  if think <= 0.0 then 0.0 else Sim.Rng.exponential rng think
+
+let interarrival ~rate rng = Sim.Rng.exponential rng (1.0 /. rate)

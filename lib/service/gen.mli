@@ -1,0 +1,36 @@
+(** Workload-shape specification for the service: how clients offer load.
+
+    Two regimes, the classic pair from queueing-driven benchmarking:
+
+    - {!Closed}: each client keeps exactly one command outstanding — submit,
+      wait for the decision, think (exponential with mean [think] simulated
+      seconds, or instantly when [think = 0]), submit again, [ops] times.
+      Offered load self-regulates: a slow service is offered less.
+    - {!Open}: each client submits on a Poisson process of [rate] commands
+      per simulated second until [horizon], regardless of completions.
+      Offered load is fixed: a slow service builds queues — this is the
+      regime that stresses tail latency.
+
+    Think and inter-arrival draws come from per-client streams
+    ({!Sim.Rng.split_at}), so client [i]'s behaviour is a pure function of
+    (seed, i) no matter how clients are sharded. *)
+
+type t =
+  | Closed of { think : float; ops : int }
+  | Open of { rate : float; horizon : float }
+
+val of_string : string -> (t, string) result
+(** ["closed:THINK:OPS"] or ["open:RATE:HORIZON"]. *)
+
+val to_string : t -> string
+(** Canonical spec string; round-trips through {!of_string} and labels the
+    cell in reports. *)
+
+val pp : Format.formatter -> t -> unit
+
+val think_delay : think:float -> Sim.Rng.t -> float
+(** One think-time draw: exponential with mean [think], or [0.] when
+    [think <= 0]. *)
+
+val interarrival : rate:float -> Sim.Rng.t -> float
+(** One Poisson inter-arrival draw: exponential with mean [1 / rate]. *)

@@ -1,0 +1,214 @@
+module type CFG = sig
+  val clients : int
+  val load : Gen.t
+  val batch : int
+  val pipeline : int
+  val collector : Collector.t
+  val now : unit -> float
+end
+
+type timer_target = Inst of { inst : int; dtag : int } | Client of int
+
+module Make (D : Decree.S) (C : CFG) = struct
+  let name = "service-" ^ D.name
+
+  type msg = { inst : int; m : D.msg }
+
+  type client = {
+    global : int;
+    rng : Sim.Rng.t;  (* pure function of (seed, client id): think/arrival draws *)
+    mutable remaining : int;  (* closed loop: commands not yet submitted *)
+  }
+
+  type command = { client : int (* local index *); submitted : float }
+
+  type state = {
+    pid : int;
+    rng : Sim.Rng.t;  (* never drawn from; keyed derivation only *)
+    insts : (int, D.state) Hashtbl.t;
+    timers : (int, timer_target) Hashtbl.t;
+    mutable next_tag : int;
+    queue : command Queue.t;
+    mutable inflight : int;
+    mutable next_inst : int;  (* local counter; global id = next_inst * n + pid *)
+    batches : (int, command list) Hashtbl.t;  (* my open decrees -> their cargo *)
+    clients : client array;  (* clients owned by this replica *)
+  }
+
+  let fresh_tag st target =
+    let tag = st.next_tag in
+    st.next_tag <- tag + 1;
+    Hashtbl.replace st.timers tag target;
+    tag
+
+  let submit st c =
+    let cl = st.clients.(c) in
+    cl.remaining <- cl.remaining - 1;
+    Queue.push { client = c; submitted = C.now () } st.queue;
+    Collector.command_submitted C.collector
+
+  (* Translate decree-local actions into engine actions for instance [inst].
+     [Decide] never escapes: an owner decision completes the batch (and may
+     open follow-up decrees — mutual recursion through [pump]); a replica
+     decision is just a learn.  The recursion bottoms out because every
+     cycle through [pump] consumes queued commands or pipeline budget. *)
+  let rec exec st ~n ~inst (acts : D.msg Sim.Engine.action list) :
+      msg Sim.Engine.action list =
+    List.concat_map
+      (fun (a : D.msg Sim.Engine.action) ->
+        match a with
+        | Sim.Engine.Send (dest, m) -> [ Sim.Engine.Send (dest, { inst; m }) ]
+        | Sim.Engine.Broadcast m -> [ Sim.Engine.Broadcast { inst; m } ]
+        | Sim.Engine.Set_timer (delay, dtag) ->
+            [ Sim.Engine.Set_timer (delay, fresh_tag st (Inst { inst; dtag })) ]
+        | Sim.Engine.Decide v -> decide st ~n ~inst v)
+      acts
+
+  and decide st ~n ~inst _v =
+    if inst mod n = st.pid then
+      match Hashtbl.find_opt st.batches inst with
+      | None -> [] (* duplicate decide; decree guards make this unreachable *)
+      | Some commands ->
+          Hashtbl.remove st.batches inst;
+          st.inflight <- st.inflight - 1;
+          Collector.instance_decided C.collector;
+          let time = C.now () in
+          let followups =
+            List.concat_map
+              (fun (cmd : command) ->
+                Collector.command_completed C.collector
+                  ~client:st.clients.(cmd.client).global
+                  ~latency:(time -. cmd.submitted) ~time;
+                client_completed st cmd.client)
+              commands
+          in
+          followups @ pump st ~n
+    else begin
+      Collector.replica_learned C.collector;
+      []
+    end
+
+  (* Closed loop: the client observes its command's completion, thinks, and
+     submits the next one via a timer (0-delay when think = 0, so even the
+     instant-resubmit path flows through the engine and stays causal). *)
+  and client_completed st c =
+    match C.load with
+    | Gen.Open _ -> []
+    | Gen.Closed { think; _ } ->
+        let cl = st.clients.(c) in
+        if cl.remaining <= 0 then []
+        else
+          [ Sim.Engine.Set_timer (Gen.think_delay ~think cl.rng, fresh_tag st (Client c)) ]
+
+  and pump st ~n =
+    if st.inflight >= C.pipeline || Queue.is_empty st.queue then []
+    else begin
+      let rec take k acc =
+        if k = 0 || Queue.is_empty st.queue then List.rev acc
+        else take (k - 1) (Queue.pop st.queue :: acc)
+      in
+      let commands = take C.batch [] in
+      let inst = (st.next_inst * n) + st.pid in
+      st.next_inst <- st.next_inst + 1;
+      let rng = Sim.Rng.split_at st.rng ((2 * inst) + 1) in
+      let dstate, dacts = D.propose ~n ~pid:st.pid ~value:inst ~rng in
+      Hashtbl.replace st.insts inst dstate;
+      Hashtbl.replace st.batches inst commands;
+      st.inflight <- st.inflight + 1;
+      Collector.instance_opened C.collector;
+      exec st ~n ~inst dacts @ pump st ~n
+    end
+
+  (* Open loop: submit now, schedule the next Poisson arrival unless it
+     falls beyond the horizon. *)
+  let arrival st ~n c ~rate ~horizon =
+    submit st c;
+    let cl = st.clients.(c) in
+    let gap = Gen.interarrival ~rate cl.rng in
+    let next =
+      if C.now () +. gap <= horizon then
+        [ Sim.Engine.Set_timer (gap, fresh_tag st (Client c)) ]
+      else []
+    in
+    next @ pump st ~n
+
+  let init ~n ~pid ~input:_ ~rng =
+    let locals = ref [] in
+    let c = ref pid in
+    while !c < C.clients do
+      locals := !c :: !locals;
+      c := !c + n
+    done;
+    let clients =
+      Array.of_list
+        (List.rev_map
+           (fun global ->
+             let remaining =
+               match C.load with Gen.Closed { ops; _ } -> ops | Gen.Open _ -> 0
+             in
+             { global; rng = Sim.Rng.split_at rng (2 * global); remaining })
+           !locals)
+    in
+    let st =
+      {
+        pid;
+        rng;
+        insts = Hashtbl.create 64;
+        timers = Hashtbl.create 64;
+        next_tag = 0;
+        queue = Queue.create ();
+        inflight = 0;
+        next_inst = 0;
+        batches = Hashtbl.create 64;
+        clients;
+      }
+    in
+    let actions =
+      match C.load with
+      | Gen.Closed _ ->
+          (* thundering herd: every client's first command lands at t = 0 *)
+          Array.iteri (fun c _ -> submit st c) st.clients;
+          pump st ~n
+      | Gen.Open { rate; horizon } ->
+          let acts = ref [] in
+          Array.iteri
+            (fun c (cl : client) ->
+              let gap = Gen.interarrival ~rate cl.rng in
+              if gap <= horizon then
+                acts :=
+                  Sim.Engine.Set_timer (gap, fresh_tag st (Client c)) :: !acts)
+            st.clients;
+          List.rev !acts
+    in
+    (st, actions)
+
+  let on_message ~n ~pid st ~src { inst; m } =
+    let d =
+      match Hashtbl.find_opt st.insts inst with
+      | Some d -> d
+      | None -> D.join ~n ~pid
+    in
+    let d', acts = D.on_message ~n ~pid d ~src m in
+    Hashtbl.replace st.insts inst d';
+    (st, exec st ~n ~inst acts)
+
+  let on_timer ~n ~pid st ~tag =
+    match Hashtbl.find_opt st.timers tag with
+    | None -> (st, [])
+    | Some target -> (
+        Hashtbl.remove st.timers tag;
+        match target with
+        | Inst { inst; dtag } -> (
+            match Hashtbl.find_opt st.insts inst with
+            | None -> (st, [])
+            | Some d ->
+                let d', acts = D.on_timer ~n ~pid d ~tag:dtag in
+                Hashtbl.replace st.insts inst d';
+                (st, exec st ~n ~inst acts))
+        | Client c -> (
+            match C.load with
+            | Gen.Closed _ ->
+                submit st c;
+                (st, pump st ~n)
+            | Gen.Open { rate; horizon } -> (st, arrival st ~n c ~rate ~horizon)))
+end

@@ -1,0 +1,185 @@
+type t = {
+  shards : Collector.shard array;
+  submitted : int;
+  completed : int;
+  opened : int;
+  decided : int;
+  learns : int;
+  peak_inflight_max : int;
+  peak_inflight_sum : int;
+  makespan : float;
+  decisions_per_sec : float;
+  commands_per_sec : float;
+  mean_latency : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  max_latency : float;
+  fairness : float;
+  completion_rate : float;
+  hist : Stats.Histogram.t;
+}
+
+let of_shards ?(hist_lo = 0.0) ?(hist_hi = 20.0) ?(hist_bins = 40) shards =
+  let shards = Array.of_list shards in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shards in
+  let submitted = sum (fun (s : Collector.shard) -> s.submitted) in
+  let completed = sum (fun (s : Collector.shard) -> s.completed) in
+  let opened = sum (fun (s : Collector.shard) -> s.opened) in
+  let decided = sum (fun (s : Collector.shard) -> s.decided) in
+  let learns = sum (fun (s : Collector.shard) -> s.learns) in
+  let peak_inflight_max =
+    Array.fold_left (fun m (s : Collector.shard) -> Stdlib.max m s.peak_inflight) 0 shards
+  in
+  let peak_inflight_sum = sum (fun (s : Collector.shard) -> s.peak_inflight) in
+  let makespan =
+    Array.fold_left
+      (fun m (s : Collector.shard) -> Float.max m s.last_completion)
+      0.0 shards
+  in
+  let summary = Stats.Summary.create () in
+  let hist = Stats.Histogram.create ~lo:hist_lo ~hi:hist_hi ~bins:hist_bins in
+  Array.iter
+    (fun (s : Collector.shard) ->
+      Array.iter
+        (fun l ->
+          Stats.Summary.add summary l;
+          Stats.Histogram.add hist l)
+        s.latencies)
+    shards;
+  let fairness =
+    (* across every client of every shard *)
+    let mn = ref max_int and mx = ref 0 in
+    Array.iter
+      (fun (s : Collector.shard) ->
+        Array.iter
+          (fun c ->
+            if c < !mn then mn := c;
+            if c > !mx then mx := c)
+          s.per_client)
+      shards;
+    if !mn = max_int then nan
+    else if !mn = 0 then infinity
+    else Float.of_int !mx /. Float.of_int !mn
+  in
+  let per_sec count = if makespan > 0.0 then Float.of_int count /. makespan else nan in
+  {
+    shards;
+    submitted;
+    completed;
+    opened;
+    decided;
+    learns;
+    peak_inflight_max;
+    peak_inflight_sum;
+    makespan;
+    decisions_per_sec = per_sec decided;
+    commands_per_sec = per_sec completed;
+    mean_latency = Stats.Summary.mean summary;
+    p50 = Stats.Summary.percentile summary 50.0;
+    p99 = Stats.Summary.percentile summary 99.0;
+    p999 = Stats.Summary.percentile summary 99.9;
+    max_latency = (if Stats.Summary.count summary = 0 then nan else Stats.Summary.max summary);
+    fairness;
+    completion_rate =
+      (if submitted = 0 then nan else Float.of_int completed /. Float.of_int submitted);
+    hist;
+  }
+
+let hist_to_json h =
+  let nonempty = ref [] in
+  for i = Stats.Histogram.bins h - 1 downto 0 do
+    let c = Stats.Histogram.bin_count h i in
+    if c > 0 then nonempty := Flp_json.List [ Flp_json.Int i; Flp_json.Int c ] :: !nonempty
+  done;
+  let lo, _ = Stats.Histogram.bin_bounds h 0 in
+  let _, hi = Stats.Histogram.bin_bounds h (Stats.Histogram.bins h - 1) in
+  Flp_json.Obj
+    [
+      ("lo", Flp_json.Float lo);
+      ("hi", Flp_json.Float hi);
+      ("bins", Flp_json.Int (Stats.Histogram.bins h));
+      ("count", Flp_json.Int (Stats.Histogram.count h));
+      ("nonempty", Flp_json.List !nonempty);
+    ]
+
+let shard_to_json ~wall (s : Collector.shard) =
+  let base =
+    [
+      ("submitted", Flp_json.Int s.submitted);
+      ("completed", Flp_json.Int s.completed);
+      ("opened", Flp_json.Int s.opened);
+      ("decided", Flp_json.Int s.decided);
+      ("learns", Flp_json.Int s.learns);
+      ("peak_inflight", Flp_json.Int s.peak_inflight);
+      ("last_completion", Flp_json.Float s.last_completion);
+      ("steps", Flp_json.Int s.steps);
+      ("sent", Flp_json.Int s.sent);
+      ("delivered", Flp_json.Int s.delivered);
+      ("end_time", Flp_json.Float s.end_time);
+      ("outcome", Flp_json.Str s.outcome);
+    ]
+  in
+  Flp_json.Obj (if wall then base @ [ ("wall_s", Flp_json.Float s.wall_s) ] else base)
+
+let to_json ?(wall = false) t =
+  let base =
+    [
+      ( "totals",
+        Flp_json.Obj
+          [
+            ("submitted", Flp_json.Int t.submitted);
+            ("completed", Flp_json.Int t.completed);
+            ("opened", Flp_json.Int t.opened);
+            ("decided", Flp_json.Int t.decided);
+            ("learns", Flp_json.Int t.learns);
+          ] );
+      ( "throughput",
+        Flp_json.Obj
+          [
+            ("decisions_per_sec", Flp_json.Float t.decisions_per_sec);
+            ("commands_per_sec", Flp_json.Float t.commands_per_sec);
+            ("makespan_sim_s", Flp_json.Float t.makespan);
+          ] );
+      ( "latency",
+        Flp_json.Obj
+          [
+            ("mean", Flp_json.Float t.mean_latency);
+            ("p50", Flp_json.Float t.p50);
+            ("p99", Flp_json.Float t.p99);
+            ("p999", Flp_json.Float t.p999);
+            ("max", Flp_json.Float t.max_latency);
+            ("hist", hist_to_json t.hist);
+          ] );
+      ( "fairness",
+        Flp_json.Obj [ ("max_over_min_per_client", Flp_json.Float t.fairness) ] );
+      ( "survival",
+        Flp_json.Obj
+          [
+            ("completion_rate", Flp_json.Float t.completion_rate);
+            ("peak_inflight_max", Flp_json.Int t.peak_inflight_max);
+            ("peak_inflight_sum", Flp_json.Int t.peak_inflight_sum);
+          ] );
+      ( "shards",
+        Flp_json.List (Array.to_list (Array.map (shard_to_json ~wall) t.shards)) );
+    ]
+  in
+  let base =
+    if wall then
+      let total =
+        Array.fold_left (fun acc (s : Collector.shard) -> acc +. s.wall_s) 0.0 t.shards
+      in
+      base @ [ ("wall_s_total", Flp_json.Float total) ]
+    else base
+  in
+  Flp_json.Obj base
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>decided %d/%d instances, completed %d/%d commands (rate %.3f)@,\
+     throughput %.1f decisions/s, %.1f commands/s over %.2f sim-s@,\
+     latency mean %.3f p50 %.3f p99 %.3f p999 %.3f max %.3f@,\
+     fairness max/min %.2f, peak inflight %d (fleet %d)@]" t.decided t.opened
+    t.completed t.submitted t.completion_rate t.decisions_per_sec t.commands_per_sec
+    t.makespan t.mean_latency t.p50 t.p99 t.p999 t.max_latency t.fairness
+    t.peak_inflight_max t.peak_inflight_sum

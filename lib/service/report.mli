@@ -1,0 +1,44 @@
+(** Deterministic cross-shard merge of service measurements.
+
+    Shards are independent engine runs (parallel universes of the same
+    service); the merge folds them in shard order, so the report is a pure
+    function of the cell configuration — byte-identical JSON at every
+    [--jobs].  Throughput treats the shards as a fleet: total work over the
+    slowest shard's simulated makespan.  Host wall-clock numbers exist in
+    the frozen shards but enter the JSON only under [~wall:true], keeping
+    the committed artifact machine-independent. *)
+
+type t = {
+  shards : Collector.shard array;
+  submitted : int;
+  completed : int;
+  opened : int;
+  decided : int;
+  learns : int;
+  peak_inflight_max : int;  (** largest single-run in-flight high-water mark *)
+  peak_inflight_sum : int;  (** fleet-wide peak (shards run concurrently) *)
+  makespan : float;  (** max over shards of the last completion instant *)
+  decisions_per_sec : float;  (** decided instances / makespan; [nan] if none *)
+  commands_per_sec : float;  (** completed commands / makespan; [nan] if none *)
+  mean_latency : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  max_latency : float;
+  fairness : float;
+      (** max/min completed commands per client; [infinity] when some client
+          finished nothing (renders as JSON null) *)
+  completion_rate : float;  (** completed / submitted commands; [nan] if none *)
+  hist : Stats.Histogram.t;  (** latency histogram over all shards *)
+}
+
+val of_shards :
+  ?hist_lo:float -> ?hist_hi:float -> ?hist_bins:int -> Collector.shard list -> t
+(** Histogram bounds default to [\[0, 20)] × 40 bins, matching
+    {!Workload.Campaign}. *)
+
+val to_json : ?wall:bool -> t -> Flp_json.t
+(** [wall] (default [false]) adds per-shard and total host wall-clock
+    seconds — never enable it for committed artifacts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,6 +27,8 @@ type result = {
   violations : string list;
 }
 
+type queue_kind = Queue_heap | Queue_wheel
+
 type cfg = {
   n : int;
   inputs : int array;
@@ -35,6 +37,7 @@ type cfg = {
   seed : int;
   max_steps : int;
   max_time : float;
+  queue : queue_kind;
   sched : (unit -> Scheduler.blind) option;
 }
 
@@ -47,6 +50,7 @@ let default_cfg ~n ~inputs ~seed =
     seed;
     max_steps = 1_000_000;
     max_time = 1e9;
+    queue = Queue_heap;
     sched = None;
   }
 
@@ -83,8 +87,8 @@ module Make (A : APP) = struct
 
   let no_trace (_ : Trace.event) = ()
 
-  let run_states_corrupted ?(obs = Obs.disabled) ?policy ?recorder cfg ~on_event ~corrupt
-      ~trace =
+  let run_states_corrupted ?(obs = Obs.disabled) ?policy ?recorder ?on_step cfg
+      ~on_event ~corrupt ~trace =
     if Array.length cfg.inputs <> cfg.n then invalid_arg "Engine.run: inputs length";
     if Array.length cfg.crash_times <> cfg.n then invalid_arg "Engine.run: crash_times length";
     let metrics = obs.Obs.metrics in
@@ -113,15 +117,25 @@ module Make (A : APP) = struct
       | Some _ as p -> p
       | None -> Option.map (fun factory -> Scheduler.lift (factory ())) cfg.sched
     in
-    (* The event queue, abstracted so both regimes share one simulation loop.
-       [pop] returns the firing instant (never decreasing) plus the event. *)
+    (* The event queue, abstracted so all regimes share one simulation loop.
+       [pop] returns the firing instant (never decreasing) plus the event.
+       Without a policy the queue plays the oblivious delay-order adversary
+       itself — either the binary heap or the timer wheel, which honour the
+       same (time, seq) contract and therefore produce identical runs. *)
     let push, pop, queue_size =
       match policy with
-      | None ->
-          let heap : ev Heap.t = Heap.create () in
-          ( (fun ~time ev -> Heap.push heap ~time ev),
-            (fun () -> Heap.pop heap),
-            fun () -> Heap.size heap )
+      | None -> (
+          match cfg.queue with
+          | Queue_heap ->
+              let heap : ev Heap.t = Heap.create () in
+              ( (fun ~time ev -> Heap.push heap ~time ev),
+                (fun () -> Heap.pop heap),
+                fun () -> Heap.size heap )
+          | Queue_wheel ->
+              let wheel : ev Wheel.t = Wheel.create () in
+              ( (fun ~time ev -> Wheel.push wheel ~time ev),
+                (fun () -> Wheel.pop wheel),
+                fun () -> Wheel.size wheel ))
       | Some pol ->
           let table : ev Scheduler.Table.t = Scheduler.Table.create () in
           let push ~time ev =
@@ -250,6 +264,7 @@ module Make (A : APP) = struct
       done;
       !ok
     in
+    let on_step = match on_step with None -> (fun (_ : float) -> ()) | Some f -> f in
     let outcome = ref Quiescent in
     let running = ref true in
     while !running do
@@ -269,12 +284,17 @@ module Make (A : APP) = struct
         | Some (t, ev) -> (
             now := t;
             incr steps;
+            on_step t;
             match ev with
             | Deliver { dest; src; msg; sid } ->
                 if not (crashed dest) then begin
                   incr delivered;
                   delivered_to.(dest) <- delivered_to.(dest) + 1;
-                  on_event t (Printf.sprintf "deliver %d->%d" src dest);
+                  (* The sprintf is deferred behind the option so quiet runs
+                     pay nothing for the narration hook on the hot path. *)
+                  (match on_event with
+                  | None -> ()
+                  | Some f -> f t (Printf.sprintf "deliver %d->%d" src dest));
                   trace (Trace.Delivery { time = t; src; dst = dest });
                   rec_step ~pid:dest ~kind:(Causal.Recorder.Deliver { src; sid })
                     states.(dest);
@@ -287,7 +307,9 @@ module Make (A : APP) = struct
                 end
             | Timer { pid; tag; sid } ->
                 if not (crashed pid) then begin
-                  on_event t (Printf.sprintf "timer p%d tag=%d" pid tag);
+                  (match on_event with
+                  | None -> ()
+                  | Some f -> f t (Printf.sprintf "timer p%d tag=%d" pid tag));
                   trace (Trace.Timer_fired { time = t; pid; tag });
                   rec_step ~pid ~kind:(Causal.Recorder.Timer { tag; sid }) states.(pid);
                   match states.(pid) with
@@ -322,28 +344,36 @@ module Make (A : APP) = struct
     in
     (result, states)
 
-  let quiet _ _ = ()
-
   let run_verbose ?obs cfg ~on_event =
-    fst (run_states_corrupted ?obs cfg ~on_event ~corrupt:no_corruption ~trace:no_trace)
+    fst
+      (run_states_corrupted ?obs cfg ~on_event:(Some on_event)
+         ~corrupt:no_corruption ~trace:no_trace)
 
-  let run ?obs cfg = run_verbose ?obs cfg ~on_event:quiet
+  let run ?obs cfg =
+    fst
+      (run_states_corrupted ?obs cfg ~on_event:None ~corrupt:no_corruption
+         ~trace:no_trace)
 
   let run_states ?obs cfg =
-    run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt:no_corruption ~trace:no_trace
+    run_states_corrupted ?obs cfg ~on_event:None ~corrupt:no_corruption ~trace:no_trace
+
+  let run_observed ?obs ?policy cfg ~on_step =
+    fst
+      (run_states_corrupted ?obs ?policy ~on_step cfg ~on_event:None
+         ~corrupt:no_corruption ~trace:no_trace)
 
   let run_corrupted ?obs ~corrupt cfg =
-    fst (run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt ~trace:no_trace)
+    fst (run_states_corrupted ?obs cfg ~on_event:None ~corrupt ~trace:no_trace)
 
   let run_scheduled ?obs ~policy cfg =
     fst
-      (run_states_corrupted ?obs ~policy cfg ~on_event:quiet ~corrupt:no_corruption
+      (run_states_corrupted ?obs ~policy cfg ~on_event:None ~corrupt:no_corruption
          ~trace:no_trace)
 
   let run_recorded ?obs ?policy ?may cfg =
     let r = Causal.Recorder.create ~n:cfg.n in
     let result, _ =
-      run_states_corrupted ?obs ?policy ~recorder:(r, may) cfg ~on_event:quiet
+      run_states_corrupted ?obs ?policy ~recorder:(r, may) cfg ~on_event:None
         ~corrupt:no_corruption ~trace:no_trace
     in
     (result, r)
@@ -351,7 +381,7 @@ module Make (A : APP) = struct
   let run_traced ?obs cfg =
     let events = ref [] in
     let result, _ =
-      run_states_corrupted ?obs cfg ~on_event:quiet ~corrupt:no_corruption
+      run_states_corrupted ?obs cfg ~on_event:None ~corrupt:no_corruption
         ~trace:(fun e -> events := e :: !events)
     in
     let crashes =

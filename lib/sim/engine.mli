@@ -56,6 +56,17 @@ type result = {
       (** write-once or agreement violations observed during the run *)
 }
 
+(** Which data structure serves pending events when no adversarial policy is
+    installed.  Both honour the same [(time, seq)] contract — two events at
+    the same instant fire in scheduling order — so runs are identical under
+    either; they differ only in cost profile.  {!Queue_heap} is the binary
+    heap ([O(log n)] per operation, insensitive to time distribution);
+    {!Queue_wheel} is the hierarchical timer wheel ([O(1)] push, pops
+    amortised by bucket, built for the service workload's ~10^5 pending
+    events).  Ignored when a policy is installed: adversarial policies pick
+    from the {!Scheduler.Table}, not from a time-ordered queue. *)
+type queue_kind = Queue_heap | Queue_wheel
+
 type cfg = {
   n : int;
   inputs : int array;  (** one input per process *)
@@ -64,6 +75,7 @@ type cfg = {
   seed : int;
   max_steps : int;
   max_time : float;
+  queue : queue_kind;  (** event-queue implementation (default {!Queue_heap}) *)
   sched : (unit -> Scheduler.blind) option;
       (** Adversarial scheduling policy.  [None] (the default) is the
           oblivious delay-order adversary, served straight from the event
@@ -101,6 +113,20 @@ module Make (A : APP) : sig
   (** Like [run], additionally returning each process's final internal state
       ([None] for initially-dead processes that never initialised), for
       protocol-specific invariant checks in tests and benches. *)
+
+  val run_observed :
+    ?obs:Obs.t ->
+    ?policy:A.msg Scheduler.policy ->
+    cfg ->
+    on_step:(float -> unit) ->
+    result
+  (** Like [run] (or [run_scheduled] when [policy] is given), calling
+      [on_step t] with the simulated clock before each event is dispatched.
+      APP callbacks receive no ambient time — the FLP model gives processes
+      no clock — so a {e harness} that must timestamp protocol-level
+      activity (e.g. the service workload measuring decision latency)
+      observes the clock here, outside the protocol.  The hook must not
+      mutate simulation state. *)
 
   val run_traced : ?obs:Obs.t -> cfg -> result * Trace.event list
   (** Like [run], additionally returning the time-ordered trace of

@@ -18,6 +18,14 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: negative index";
+  (* Keyed derivation: land where [i + 1] sequential gamma steps from the
+     current state would, then finalize.  Pure in (state, i) — [t] is not
+     advanced — so stream [i] is the same whatever order streams are made
+     in, and [split_at t 0] coincides with what [split t] would return. *)
+  { state = mix (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let b = Int64.of_int bound in

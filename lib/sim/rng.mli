@@ -18,6 +18,15 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val split_at : t -> int -> t
+(** [split_at t i] derives stream [i] as a pure function of [t]'s current
+    state and [i]: [t] is {e not} advanced, and the result does not depend
+    on how many or in what order other streams were derived.  Use it to give
+    client/instance [i] of a workload its own reproducible stream keyed by
+    [(seed, i)].  Streams for distinct indices are statistically independent
+    (SplitMix64 gamma stepping); [split_at t 0] equals [split (copy t)].
+    Raises [Invalid_argument] if [i < 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

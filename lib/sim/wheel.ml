@@ -1,0 +1,237 @@
+(* Three 64-slot wheels plus an overflow list.  Level 0 resolves single
+   ticks, level 1 spans 64 ticks per slot, level 2 spans 4096; crossing a
+   slot boundary cascades the coarser slot into the wheel below, so every
+   entry is touched at most three times before it drains.  Entries whose
+   tick has arrived are sorted once into [buf] and popped from there, which
+   is where the heap's (time, seq) contract is re-established: slots hold
+   unordered lists, the sort is deferred until the tick fires. *)
+
+type 'a entry = { time : float; seq : int; tick : int; value : 'a }
+
+let bits = 6
+let slots = 64 (* 1 lsl bits *)
+let mask = slots - 1
+let span1 = 1 lsl (2 * bits) (* level-1 horizon: 4096 ticks *)
+let span2 = 1 lsl (3 * bits) (* level-2 horizon: 262144 ticks, one era *)
+
+type 'a t = {
+  tick : float;
+  mutable size : int;
+  mutable next_seq : int;
+  (* [cur_tick] is the tick whose entries live in [buf]; level-0 slots only
+     ever hold strictly-future ticks, so a push at the current tick must be
+     merged into the buffer (ordered, so zero-delay events still respect
+     (time, seq)). *)
+  mutable cur_tick : int;
+  l0 : 'a entry list array;
+  l1 : 'a entry list array;
+  l2 : 'a entry list array;
+  mutable overflow : 'a entry list;
+  mutable n0 : int;
+  mutable n1 : int;
+  mutable n2 : int;
+  (* Drain buffer: slots [buf_pos, buf_len) hold the not-yet-popped entries
+     of [cur_tick], ascending (time, seq).  Option slots so popped values
+     are released immediately, as in {!Heap}. *)
+  mutable buf : 'a entry option array;
+  mutable buf_pos : int;
+  mutable buf_len : int;
+}
+
+let create ?(tick = 0.015625) () =
+  if not (Float.is_finite tick) || tick <= 0.0 then
+    invalid_arg "Wheel.create: tick must be finite and positive";
+  {
+    tick;
+    size = 0;
+    next_seq = 0;
+    cur_tick = 0;
+    l0 = Array.make slots [];
+    l1 = Array.make slots [];
+    l2 = Array.make slots [];
+    overflow = [];
+    n0 = 0;
+    n1 = 0;
+    n2 = 0;
+    buf = [||];
+    buf_pos = 0;
+    buf_len = 0;
+  }
+
+let is_empty t = t.size = 0
+
+let size t = t.size
+
+let compare_entry a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+let tick_of t time =
+  let q = time /. t.tick in
+  (* Stay far inside int range: the engine's max_time is ~1e9 simulated
+     seconds, which is ~6e10 ticks at the default granularity. *)
+  if q >= 4.0e18 then invalid_arg "Wheel.push: time too far in the future";
+  int_of_float (Float.floor q)
+
+(* File an entry relative to reference tick [ref] (the drain position, or
+   the window base during a cascade).  Counters grow here; the caller that
+   emptied a slot shrinks the matching level count itself. *)
+let file t ~ref_tick (e : 'a entry) =
+  let d = e.tick - ref_tick in
+  if d < slots then begin
+    t.l0.(e.tick land mask) <- e :: t.l0.(e.tick land mask);
+    t.n0 <- t.n0 + 1
+  end
+  else if d < span1 then begin
+    let i = (e.tick lsr bits) land mask in
+    t.l1.(i) <- e :: t.l1.(i);
+    t.n1 <- t.n1 + 1
+  end
+  else if d < span2 then begin
+    let i = (e.tick lsr (2 * bits)) land mask in
+    t.l2.(i) <- e :: t.l2.(i);
+    t.n2 <- t.n2 + 1
+  end
+  else t.overflow <- e :: t.overflow
+
+let buf_get t i = match t.buf.(i) with Some e -> e | None -> assert false
+
+let buf_reserve t n =
+  if Array.length t.buf < n then begin
+    let cap = Stdlib.max 16 (Stdlib.max n (2 * Array.length t.buf)) in
+    let nb = Array.make cap None in
+    Array.blit t.buf 0 nb 0 t.buf_len;
+    t.buf <- nb
+  end
+
+(* Merge a push at the currently-draining tick into the buffer.  The new
+   entry carries the largest seq, so its slot is after every remaining entry
+   at or below its time; within the tick, times need not be monotone in
+   insertion order, hence the search. *)
+let buf_insert t e =
+  buf_reserve t (t.buf_len + 1);
+  let i = ref t.buf_pos in
+  while !i < t.buf_len && compare_entry (buf_get t !i) e < 0 do
+    incr i
+  done;
+  Array.blit t.buf !i t.buf (!i + 1) (t.buf_len - !i);
+  t.buf.(!i) <- Some e;
+  t.buf_len <- t.buf_len + 1
+
+let push t ~time value =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Wheel.push: time must be finite and non-negative";
+  let tick = tick_of t time in
+  let e = { time; seq = t.next_seq; tick; value } in
+  t.next_seq <- t.next_seq + 1;
+  if tick < t.cur_tick then invalid_arg "Wheel.push: time is in the past"
+  else if tick = t.cur_tick then buf_insert t e
+  else file t ~ref_tick:t.cur_tick e;
+  t.size <- t.size + 1
+
+(* Pull one occupied level-0 slot into the drain buffer. *)
+let drain t tk =
+  let entries = t.l0.(tk land mask) in
+  t.l0.(tk land mask) <- [];
+  let entries = List.sort compare_entry entries in
+  let k = List.length entries in
+  t.n0 <- t.n0 - k;
+  buf_reserve t k;
+  List.iteri (fun i e -> t.buf.(i) <- Some e) entries;
+  (* release references beyond the new batch *)
+  Array.fill t.buf k (Array.length t.buf - k) None;
+  t.buf_pos <- 0;
+  t.buf_len <- k;
+  t.cur_tick <- tk
+
+let cascade t arr i ~ref_tick =
+  match arr.(i) with
+  | [] -> 0
+  | entries ->
+      arr.(i) <- [];
+      List.iter (fun e -> file t ~ref_tick e) entries;
+      List.length entries
+
+let refile_overflow t ~ref_tick =
+  match t.overflow with
+  | [] -> ()
+  | entries ->
+      t.overflow <- [];
+      List.iter
+        (fun (e : 'a entry) ->
+          if e.tick - ref_tick < span2 then file t ~ref_tick e
+          else t.overflow <- e :: t.overflow)
+        entries
+
+let min_overflow_tick t =
+  List.fold_left (fun m (e : 'a entry) -> Stdlib.min m e.tick) max_int t.overflow
+
+(* Advance to, and drain, the next occupied tick.  Precondition: the buffer
+   is exhausted and at least one entry is filed.  Walks level-0 windows,
+   cascading level-1 (every 64 ticks), level-2 (every 4096) and the overflow
+   list (every era) at their boundaries; when every wheel is empty it jumps
+   straight to the era of the earliest overflow entry instead of crawling
+   the empty span window by window. *)
+let advance t =
+  (* [pos] is the next candidate tick.  Landing on a 64-boundary "enters"
+     that window: cascade the level-1 slot covering it (and the level-2 slot
+     and overflow list at their coarser boundaries) before scanning. *)
+  let pos = ref (t.cur_tick + 1) in
+  let found = ref (-1) in
+  while !found < 0 do
+    if !pos land mask = 0 then begin
+      let w =
+        if t.n0 = 0 && t.n1 = 0 && t.n2 = 0 then
+          (* nothing below the overflow horizon: jump to its era *)
+          Stdlib.max !pos ((min_overflow_tick t lsr (3 * bits)) lsl (3 * bits))
+        else !pos
+      in
+      if w land (span2 - 1) = 0 then refile_overflow t ~ref_tick:w;
+      if w land (span1 - 1) = 0 then
+        t.n2 <- t.n2 - cascade t t.l2 ((w lsr (2 * bits)) land mask) ~ref_tick:w;
+      t.n1 <- t.n1 - cascade t t.l1 ((w lsr bits) land mask) ~ref_tick:w;
+      pos := w
+    end;
+    let w_end = ((!pos lsr bits) + 1) lsl bits in
+    if t.n0 > 0 then
+      while !found < 0 && !pos < w_end do
+        match t.l0.(!pos land mask) with [] -> incr pos | _ :: _ -> found := !pos
+      done
+    else pos := w_end
+  done;
+  drain t !found
+
+let rec pop t =
+  if t.buf_pos < t.buf_len then begin
+    let e = buf_get t t.buf_pos in
+    t.buf.(t.buf_pos) <- None;
+    t.buf_pos <- t.buf_pos + 1;
+    t.size <- t.size - 1;
+    Some (e.time, e.value)
+  end
+  else if t.size = 0 then None
+  else begin
+    advance t;
+    pop t
+  end
+
+let rec peek_time t =
+  if t.buf_pos < t.buf_len then Some (buf_get t t.buf_pos).time
+  else if t.size = 0 then None
+  else begin
+    advance t;
+    peek_time t
+  end
+
+let clear t =
+  Array.fill t.l0 0 slots [];
+  Array.fill t.l1 0 slots [];
+  Array.fill t.l2 0 slots [];
+  t.overflow <- [];
+  t.n0 <- 0;
+  t.n1 <- 0;
+  t.n2 <- 0;
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.buf_pos <- 0;
+  t.buf_len <- 0;
+  t.size <- 0;
+  t.cur_tick <- 0

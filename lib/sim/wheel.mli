@@ -1,0 +1,58 @@
+(** Hierarchical timer wheel with the event heap's [(time, seq)] contract.
+
+    A drop-in alternative to {!Heap} for the engine's pending-event queue,
+    built for the service workload's regime: {e many} pending events (one per
+    in-flight message and armed timer across thousands of concurrent
+    consensus instances) with bounded time horizons.  [push] is O(1) — file
+    the entry into the bucket covering its tick — and [pop] amortises the
+    heap's O(log n) sift into one small sort per occupied tick.
+
+    The ordering contract is {e exactly} {!Heap}'s: entries pop in ascending
+    [(time, seq)] order, where [seq] is the global insertion counter, so two
+    events at the same instant pop in insertion order.  [test/test_wheel.ml]
+    pins the equivalence differentially (random push/pop interleavings match
+    the heap trace element for element) and end-to-end (whole engine runs are
+    identical under either queue).
+
+    Structure: three 64-slot wheels of increasing granularity (1, 64, and
+    4096 ticks per slot) plus an unsorted overflow list for entries beyond
+    the 262144-tick horizon.  Advancing the clock cascades a coarser slot
+    into the finer wheel below it; entries whose tick has {e arrived} are
+    sorted once into a drain buffer that serves pops (and absorbs same-tick
+    pushes by ordered insertion, preserving the contract for zero-delay
+    events).  The caller must push monotonically: a [push] whose time falls
+    before the tick currently being drained raises [Invalid_argument] — the
+    engine never does this, since events are scheduled at or after [now]. *)
+
+type 'a t
+
+val create : ?tick:float -> unit -> 'a t
+(** [tick] (default [2^-6 = 0.015625]) is the bucket width in simulated
+    seconds.  A good tick is a small fraction of the typical event spacing:
+    too coarse and every pop sorts a large bucket, too fine and advancing
+    the clock walks empty slots.  The default suits the engine's
+    Uniform(0.1, 1.0) delay regime.  Raises [Invalid_argument] when [tick]
+    is not finite and positive. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an element with the given timestamp.  Raises [Invalid_argument]
+    on a non-finite or negative time, or one strictly before the tick
+    currently being drained (the engine schedules only at or after [now]). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest element — ascending [(time, seq)], bit
+    for bit the order {!Heap.pop} would produce for the same pushes — or
+    [None] when empty.  Popped values are released (no dangling references
+    in the drain buffer or slots). *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest element without removing it.  May advance the
+    internal cursor (cascading coarse slots), but never reorders. *)
+
+val clear : 'a t -> unit
+(** Empty the wheel and rewind the cursor to time zero.  Slot capacity is
+    retained; every held value is released. *)

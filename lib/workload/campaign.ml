@@ -71,10 +71,10 @@ let survival_curve trials =
      Trials that never terminated keep the curve from reaching zero. *)
   Array.mapi (fun k t -> (t, float_of_int (n - (k + 1)) /. float_of_int n)) times
 
-(* Fixed bounds so cells are comparable across arms and runs; the edge
-   bins saturate, so slow outliers still count. *)
-let latency_hist_of trials =
-  let h = Stats.Histogram.create ~lo:0.0 ~hi:20.0 ~bins:40 in
+(* One shared set of bounds so cells are comparable across arms and runs;
+   the edge bins saturate, so slow outliers still count. *)
+let latency_hist_of ~hist_lo ~hist_hi ~hist_bins trials =
+  let h = Stats.Histogram.create ~lo:hist_lo ~hi:hist_hi ~bins:hist_bins in
   List.iter
     (fun t ->
       if t.outcome = Sim.Engine.All_decided && not (Float.is_nan t.last_decision)
@@ -82,7 +82,8 @@ let latency_hist_of trials =
     trials;
   h
 
-let cell_of_trials ~protocol ~policy trials =
+let cell_of_trials ?(hist_lo = 0.0) ?(hist_hi = 20.0) ?(hist_bins = 40) ~protocol
+    ~policy trials =
   let agg =
     List.fold_left
       (fun (acc : Experiment.aggregate) t ->
@@ -114,10 +115,11 @@ let cell_of_trials ~protocol ~policy trials =
     termination_probability = p;
     termination_ci95 = ci;
     survival = survival_curve trials;
-    latency_hist = latency_hist_of trials;
+    latency_hist = latency_hist_of ~hist_lo ~hist_hi ~hist_bins trials;
   }
 
-let run ?(jobs = 1) ?(obs = Obs.disabled) ~arms ~seeds () =
+let run ?(jobs = 1) ?(obs = Obs.disabled) ?hist_lo ?hist_hi ?hist_bins ~arms ~seeds
+    () =
   let metrics = obs.Obs.metrics in
   let arms_a = Array.of_list arms in
   let grid =
@@ -142,7 +144,8 @@ let run ?(jobs = 1) ?(obs = Obs.disabled) ~arms ~seeds () =
     List.mapi
       (fun i (arm : arm) ->
         let slice = Array.sub trials (i * per_arm) per_arm in
-        cell_of_trials ~protocol:arm.protocol ~policy:arm.policy (Array.to_list slice))
+        cell_of_trials ?hist_lo ?hist_hi ?hist_bins ~protocol:arm.protocol
+          ~policy:arm.policy (Array.to_list slice))
       arms
   in
   { seeds; cells }
@@ -160,8 +163,12 @@ let hist_to_json h =
         :: !bins
     end
   done;
+  let lo, _ = Stats.Histogram.bin_bounds h 0 in
+  let _, hi = Stats.Histogram.bin_bounds h (Stats.Histogram.bins h - 1) in
   Flp_json.Obj
-    [ ("count", Flp_json.Int (Stats.Histogram.count h));
+    [ ("lo", Flp_json.Float lo); ("hi", Flp_json.Float hi);
+      ("nbins", Flp_json.Int (Stats.Histogram.bins h));
+      ("count", Flp_json.Int (Stats.Histogram.count h));
       ("bins", Flp_json.List !bins) ]
 
 let cell_to_json c =

@@ -43,9 +43,10 @@ type cell = {
           0 while some trial stayed undecided *)
   latency_hist : Stats.Histogram.t;
       (** decision-latency distribution over the cell's fully-decided
-          trials: fixed bounds [\[0, 20)] over 40 bins (saturating edges),
-          so cells are comparable across arms and serialised as
-          [decision_latency_hist] in {!to_json} *)
+          trials: one set of bounds shared by every cell of the campaign
+          (default [\[0, 20)] over 40 bins, saturating edges), so cells are
+          comparable across arms and serialised as [decision_latency_hist]
+          in {!to_json} (with its [lo]/[hi]/[nbins] recorded) *)
 }
 
 type t = { seeds : int list; cells : cell list }
@@ -67,12 +68,29 @@ val sim_arm :
     hand around [Sim.Engine.Make(App).run_scheduled]. *)
 
 val run :
-  ?jobs:int -> ?obs:Obs.t -> arms:arm list -> seeds:int list -> unit -> t
+  ?jobs:int ->
+  ?obs:Obs.t ->
+  ?hist_lo:float ->
+  ?hist_hi:float ->
+  ?hist_bins:int ->
+  arms:arm list ->
+  seeds:int list ->
+  unit ->
+  t
 (** Run the full grid.  [jobs] (default 1) sizes the domain pool; results
-    are independent of it.  A live [obs] records [campaign.time],
-    [campaign.arms], [campaign.trials] and the pool's own metrics. *)
+    are independent of it.  [hist_lo]/[hist_hi]/[hist_bins] (default 0, 20,
+    40) bound every cell's latency histogram.  A live [obs] records
+    [campaign.time], [campaign.arms], [campaign.trials] and the pool's own
+    metrics. *)
 
-val cell_of_trials : protocol:string -> policy:string -> trial list -> cell
+val cell_of_trials :
+  ?hist_lo:float ->
+  ?hist_hi:float ->
+  ?hist_bins:int ->
+  protocol:string ->
+  policy:string ->
+  trial list ->
+  cell
 (** Fold trials into a cell (exposed for tests and custom runners). *)
 
 val to_json : ?meta:(string * Flp_json.t) list -> t -> Flp_json.t

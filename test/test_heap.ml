@@ -139,6 +139,54 @@ let prop_stable =
       in
       check_groups popped)
 
+let prop_differential =
+  (* Random push/pop interleavings against a sorted-list reference.  Times
+     are drawn from 4 values, so duplicate timestamps dominate and the test
+     pins the full (time, seq) contract: among equal times, pop order is
+     insertion order — across pops interleaved anywhere in the sequence. *)
+  QCheck.Test.make ~name:"push/pop interleaving = stable sorted reference" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 200) (int_bound 4))
+    (fun ops ->
+      let h = Sim.Heap.create () in
+      let reference = ref [] in
+      (* reference: (time, seq, v) sorted by (time, seq); insert keeps order *)
+      let ref_insert time seq v =
+        let rec go = function
+          | [] -> [ (time, seq, v) ]
+          | ((t', s', _) as hd) :: tl ->
+              if t' < time || (t' = time && s' < seq) then hd :: go tl
+              else (time, seq, v) :: hd :: tl
+        in
+        reference := go !reference
+      in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op = 0 then begin
+            match (Sim.Heap.pop h, !reference) with
+            | None, [] -> ()
+            | Some (t, v), (t', _, v') :: tl ->
+                if t <> t' || v <> v' then ok := false;
+                reference := tl
+            | Some _, [] | None, _ :: _ -> ok := false
+          end
+          else begin
+            let time = [| 0.0; 1.5; 1.5; 7.25 |].(op - 1) in
+            Sim.Heap.push h ~time !seq;
+            ref_insert time !seq !seq;
+            incr seq
+          end)
+        ops;
+      (* drain whatever is left *)
+      List.iter
+        (fun (t', _, v') ->
+          match Sim.Heap.pop h with
+          | Some (t, v) -> if t <> t' || v <> v' then ok := false
+          | None -> ok := false)
+        !reference;
+      !ok && Sim.Heap.pop h = None)
+
 let () =
   Alcotest.run "heap"
     [
@@ -156,5 +204,6 @@ let () =
           Alcotest.test_case "clear releases values" `Quick test_clear_releases_values;
           QCheck_alcotest.to_alcotest prop_heapsort;
           QCheck_alcotest.to_alcotest prop_stable;
+          QCheck_alcotest.to_alcotest prop_differential;
         ] );
     ]

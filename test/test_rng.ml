@@ -164,6 +164,54 @@ let prop_bit_is_binary =
       let b = Sim.Rng.bit rng in
       b = 0 || b = 1)
 
+let test_split_at_negative () =
+  let rng = Sim.Rng.create 5 in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_at: negative index") (fun () ->
+      ignore (Sim.Rng.split_at rng (-1)))
+
+let test_split_at_zero_is_split () =
+  (* split_at t 0 must coincide with what a plain split would have produced,
+     without consuming the parent *)
+  let a = Sim.Rng.create 77 in
+  let keyed = Sim.Rng.split_at a 0 in
+  let sequential = Sim.Rng.split (Sim.Rng.copy a) in
+  Alcotest.(check int64) "same child stream" (Sim.Rng.int64 sequential)
+    (Sim.Rng.int64 keyed)
+
+let prop_split_at_pure =
+  (* stream i is a pure function of (parent state, i): deriving it twice, or
+     after deriving other streams first, yields the identical stream — and
+     never advances the parent *)
+  QCheck.Test.make ~name:"split_at is pure and order-invariant" ~count:300
+    QCheck.(pair small_int (small_list (int_bound 64)))
+    (fun (seed, indices) ->
+      let parent = Sim.Rng.create seed in
+      let before = Sim.Rng.int64 (Sim.Rng.copy parent) in
+      let direct = List.map (fun i -> Sim.Rng.int64 (Sim.Rng.split_at parent i)) indices in
+      (* re-derive in reverse order, interleaving extra derivations *)
+      let again =
+        List.rev_map
+          (fun i ->
+            ignore (Sim.Rng.split_at parent (i + 1));
+            Sim.Rng.int64 (Sim.Rng.split_at parent i))
+          (List.rev indices)
+      in
+      direct = again && Sim.Rng.int64 (Sim.Rng.copy parent) = before)
+
+let prop_split_at_streams_differ =
+  (* distinct indices give decorrelated streams: first draws differ for
+     every pair in a window (SplitMix64's mix makes collisions vanishingly
+     unlikely; any equal pair here would be a derivation bug) *)
+  QCheck.Test.make ~name:"split_at streams are pairwise distinct" ~count:100
+    QCheck.small_int (fun seed ->
+      let parent = Sim.Rng.create seed in
+      let firsts =
+        List.init 32 (fun i -> Sim.Rng.int64 (Sim.Rng.split_at parent i))
+      in
+      let sorted = List.sort_uniq Int64.compare firsts in
+      List.length sorted = 32)
+
 let () =
   Alcotest.run "rng"
     [
@@ -189,5 +237,9 @@ let () =
           Alcotest.test_case "pick membership" `Quick test_pick;
           Alcotest.test_case "pick empty" `Quick test_pick_empty;
           QCheck_alcotest.to_alcotest prop_bit_is_binary;
+          Alcotest.test_case "split_at negative" `Quick test_split_at_negative;
+          Alcotest.test_case "split_at 0 = split" `Quick test_split_at_zero_is_split;
+          QCheck_alcotest.to_alcotest prop_split_at_pure;
+          QCheck_alcotest.to_alcotest prop_split_at_streams_differ;
         ] );
     ]

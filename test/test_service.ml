@@ -1,0 +1,202 @@
+(* The consensus-as-a-service subsystem: conservation laws, determinism
+   across jobs levels, heap/wheel equivalence at the report level, and the
+   thousands-of-concurrent-instances pin from the roadmap. *)
+
+let cell ?(protocol = "fast") ?(policy = Sched.Spec.Oblivious)
+    ?(queue = Sim.Engine.Queue_heap) ?(load = Service.Gen.Closed { think = 0.5; ops = 3 })
+    ?(clients = 12) ?(n = 3) ?(shards = 2) ?(batch = 1) ?(pipeline = 1024) ?(seed = 1)
+    () =
+  {
+    Service.Runner.protocol;
+    policy;
+    queue;
+    load;
+    clients;
+    n;
+    shards;
+    batch;
+    pipeline;
+    delays = Sim.Delay.Uniform (0.1, 1.0);
+    seed;
+    max_steps = 5_000_000;
+  }
+
+let report ?jobs c =
+  match Service.Runner.run ?jobs [ c ] with
+  | [ (_, r) ] -> r
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+(* Closed loops must run to completion: every client finishes every op, and
+   the books balance — submitted = completed = clients * ops (x shards),
+   decided instances = opened instances, and each decided instance is
+   learned by the other n-1 replicas. *)
+let test_conservation () =
+  List.iter
+    (fun protocol ->
+      let shards = 2 and clients = 12 and ops = 3 and n = 3 in
+      let c =
+        cell ~protocol ~load:(Service.Gen.Closed { think = 0.5; ops }) ~clients ~n
+          ~shards ()
+      in
+      let r = report c in
+      let expect = shards * clients * ops in
+      Alcotest.(check int) (protocol ^ ": submitted") expect r.Service.Report.submitted;
+      Alcotest.(check int) (protocol ^ ": completed") expect r.Service.Report.completed;
+      Alcotest.(check int) (protocol ^ ": decided = opened") r.Service.Report.opened
+        r.Service.Report.decided;
+      Alcotest.(check int)
+        (protocol ^ ": every decree learned by all other replicas")
+        (r.Service.Report.decided * (n - 1))
+        r.Service.Report.learns;
+      Alcotest.(check (float 1e-9)) (protocol ^ ": completion rate") 1.0
+        r.Service.Report.completion_rate;
+      Array.iter
+        (fun (s : Service.Collector.shard) ->
+          Alcotest.(check string) (protocol ^ ": drained") "quiescent" s.outcome)
+        r.Service.Report.shards)
+    [ "fast"; "classic" ]
+
+(* Batching rides several commands on one decree: strictly fewer instances
+   than commands, books still balanced. *)
+let test_batching_conserves () =
+  let c =
+    cell ~load:(Service.Gen.Closed { think = 0.0; ops = 4 }) ~clients:8 ~batch:4
+      ~shards:1 ()
+  in
+  let r = report c in
+  Alcotest.(check int) "all commands complete" 32 r.Service.Report.completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "batching opens fewer decrees (%d < 32)" r.Service.Report.opened)
+    true
+    (r.Service.Report.opened < 32);
+  Alcotest.(check int) "decided = opened" r.Service.Report.opened r.Service.Report.decided
+
+(* Open loop: arrivals stop at the horizon, nothing is lost in flight. *)
+let test_open_loop_drains () =
+  let c = cell ~load:(Service.Gen.Open { rate = 2.0; horizon = 10.0 }) ~shards:2 () in
+  let r = report c in
+  Alcotest.(check bool) "some arrivals" true (r.Service.Report.submitted > 0);
+  Alcotest.(check int) "all arrivals complete" r.Service.Report.submitted
+    r.Service.Report.completed
+
+(* The merged report must be a pure function of the cell — same bytes at
+   every jobs level.  JSON rendering is the strictest equality we have. *)
+let test_jobs_determinism () =
+  let mk () =
+    [
+      cell ~shards:3 ();
+      cell ~protocol:"classic" ~queue:Sim.Engine.Queue_wheel ~shards:3 ~seed:7
+        ~load:(Service.Gen.Open { rate = 1.5; horizon = 8.0 }) ();
+    ]
+  in
+  let render jobs =
+    Service.Runner.run ~jobs (mk ())
+    |> List.map (fun (c, r) ->
+           ( Service.Runner.cell_label c,
+             Flp_json.to_string (Service.Report.to_json r) ))
+  in
+  let one = render 1 and four = render 4 in
+  List.iter2
+    (fun (l1, j1) (l4, j4) ->
+      Alcotest.(check string) "label" l1 l4;
+      Alcotest.(check string) ("report for " ^ l1) j1 j4)
+    one four
+
+(* Heap and wheel engines must tell the same story all the way up at the
+   service level: identical merged reports for both protocols and both
+   load shapes. *)
+let test_heap_wheel_equivalent () =
+  List.iter
+    (fun (protocol, load) ->
+      let r_heap =
+        report (cell ~protocol ~load ~queue:Sim.Engine.Queue_heap ~seed:11 ())
+      in
+      let r_wheel =
+        report (cell ~protocol ~load ~queue:Sim.Engine.Queue_wheel ~seed:11 ())
+      in
+      Alcotest.(check string)
+        (protocol ^ ": heap report = wheel report")
+        (Flp_json.to_string (Service.Report.to_json r_heap))
+        (Flp_json.to_string (Service.Report.to_json r_wheel)))
+    [
+      ("fast", Service.Gen.Closed { think = 0.5; ops = 3 });
+      ("classic", Service.Gen.Closed { think = 0.5; ops = 3 });
+      ("fast", Service.Gen.Open { rate = 2.0; horizon = 6.0 });
+    ]
+
+(* The roadmap pin: a thundering herd of 1024 zero-think clients with an
+   open pipeline really does put >= 1000 decrees in flight at once in a
+   single engine run. *)
+let test_thousand_concurrent_instances () =
+  let c =
+    cell
+      ~load:(Service.Gen.Closed { think = 0.0; ops = 2 })
+      ~clients:1024 ~shards:1 ~pipeline:2048 ~queue:Sim.Engine.Queue_wheel ()
+  in
+  let r = report c in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak inflight %d >= 1000" r.Service.Report.peak_inflight_max)
+    true
+    (r.Service.Report.peak_inflight_max >= 1000);
+  Alcotest.(check int) "all complete" 2048 r.Service.Report.completed
+
+(* Pipelining bounds concurrency per owner: with pipeline = 1 each owner
+   has at most one open decree, so fleet peak <= n. *)
+let test_pipeline_bounds_inflight () =
+  let c =
+    cell ~load:(Service.Gen.Closed { think = 0.0; ops = 3 }) ~clients:9 ~pipeline:1
+      ~shards:1 ()
+  in
+  let r = report c in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak inflight %d <= n" r.Service.Report.peak_inflight_max)
+    true
+    (r.Service.Report.peak_inflight_max <= 3);
+  Alcotest.(check int) "still completes" 27 r.Service.Report.completed
+
+(* Latency includes queueing: per-client streams and FIFO queues mean every
+   recorded latency is positive and the histogram sees them all. *)
+let test_latency_accounting () =
+  let c = cell ~shards:2 () in
+  let r = report c in
+  Alcotest.(check int) "histogram saw every completion" r.Service.Report.completed
+    (Stats.Histogram.count r.Service.Report.hist);
+  Array.iter
+    (fun (s : Service.Collector.shard) ->
+      Array.iter
+        (fun l -> Alcotest.(check bool) "latency > 0" true (l > 0.0))
+        s.latencies)
+    r.Service.Report.shards;
+  Alcotest.(check bool) "p50 <= p99" true (r.Service.Report.p50 <= r.Service.Report.p99);
+  Alcotest.(check bool) "p99 <= max" true
+    (r.Service.Report.p99 <= r.Service.Report.max_latency)
+
+(* Non-oblivious policies route through the scheduler table; the service
+   must still drain under an adversarial delivery order. *)
+let test_adversarial_policy_completes () =
+  let c =
+    cell ~policy:(Sched.Spec.Admissible { budget = 64; inner = Sched.Spec.Lifo }) ()
+  in
+  let r = report c in
+  Alcotest.(check int) "all complete under admissible lifo" r.Service.Report.submitted
+    r.Service.Report.completed
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "batching conserves" `Quick test_batching_conserves;
+          Alcotest.test_case "open loop drains" `Quick test_open_loop_drains;
+          Alcotest.test_case "jobs determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "heap = wheel reports" `Quick test_heap_wheel_equivalent;
+          Alcotest.test_case "1000+ concurrent instances" `Quick
+            test_thousand_concurrent_instances;
+          Alcotest.test_case "pipeline bounds inflight" `Quick
+            test_pipeline_bounds_inflight;
+          Alcotest.test_case "latency accounting" `Quick test_latency_accounting;
+          Alcotest.test_case "adversarial policy completes" `Quick
+            test_adversarial_policy_completes;
+        ] );
+    ]

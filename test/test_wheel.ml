@@ -1,0 +1,316 @@
+(* The timer wheel's contract is "bit for bit the heap's order".  Everything
+   here is differential: unit cases mirror test_heap, the property tests
+   replay random engine-like push/pop interleavings through wheel, heap, and
+   a sorted-list reference at once, and the end-to-end cases run the whole
+   engine under Queue_heap vs Queue_wheel and demand identical results. *)
+
+(* -- unit cases -- *)
+
+let test_empty () =
+  let w : int Sim.Wheel.t = Sim.Wheel.create () in
+  Alcotest.(check bool) "empty" true (Sim.Wheel.is_empty w);
+  Alcotest.(check int) "size 0" 0 (Sim.Wheel.size w);
+  Alcotest.(check bool) "pop none" true (Sim.Wheel.pop w = None);
+  Alcotest.(check bool) "peek none" true (Sim.Wheel.peek_time w = None)
+
+let test_ordering () =
+  let w = Sim.Wheel.create () in
+  List.iter
+    (fun t -> Sim.Wheel.push w ~time:t (int_of_float (t *. 10.)))
+    [ 3.0; 1.0; 2.0; 0.5 ];
+  let order = List.init 4 (fun _ -> Option.get (Sim.Wheel.pop w)) in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "ascending" [ (0.5, 5); (1.0, 10); (2.0, 20); (3.0, 30) ] order
+
+let test_fifo_ties () =
+  let w = Sim.Wheel.create () in
+  List.iter (fun v -> Sim.Wheel.push w ~time:1.0 v) [ 1; 2; 3; 4; 5 ];
+  let vs = List.init 5 (fun _ -> snd (Option.get (Sim.Wheel.pop w))) in
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ] vs
+
+let test_same_tick_distinct_times () =
+  (* Times that share a bucket (default tick 1/64) but differ — the drain
+     buffer must sort within the bucket, not fall back to insertion order. *)
+  let w = Sim.Wheel.create () in
+  Sim.Wheel.push w ~time:0.009 'b';
+  Sim.Wheel.push w ~time:0.003 'a';
+  Sim.Wheel.push w ~time:0.014 'c';
+  let vs = List.init 3 (fun _ -> snd (Option.get (Sim.Wheel.pop w))) in
+  Alcotest.(check (list char)) "sorted within one bucket" [ 'a'; 'b'; 'c' ] vs
+
+let test_push_into_draining_tick () =
+  (* A zero-delay push while its bucket is being drained must merge into the
+     remaining entries at the right rank: after t=1.0, before t=1.01. *)
+  let w = Sim.Wheel.create () in
+  Sim.Wheel.push w ~time:1.0 "first";
+  Sim.Wheel.push w ~time:1.01 "third";
+  Alcotest.(check string) "first out" "first" (snd (Option.get (Sim.Wheel.pop w)));
+  Sim.Wheel.push w ~time:1.005 "second";
+  Alcotest.(check string) "merged by time" "second" (snd (Option.get (Sim.Wheel.pop w)));
+  Alcotest.(check string) "rest intact" "third" (snd (Option.get (Sim.Wheel.pop w)));
+  Alcotest.(check bool) "drained" true (Sim.Wheel.is_empty w)
+
+let test_past_push_rejected () =
+  let w = Sim.Wheel.create () in
+  Sim.Wheel.push w ~time:10.0 ();
+  ignore (Sim.Wheel.pop w);
+  Alcotest.check_raises "past push raises"
+    (Invalid_argument "Wheel.push: time is in the past") (fun () ->
+      Sim.Wheel.push w ~time:1.0 ())
+
+let test_peek () =
+  let w = Sim.Wheel.create () in
+  Sim.Wheel.push w ~time:2.0 ();
+  Sim.Wheel.push w ~time:1.0 ();
+  Alcotest.(check (option (float 1e-9))) "peek min" (Some 1.0) (Sim.Wheel.peek_time w);
+  Alcotest.(check int) "size intact" 2 (Sim.Wheel.size w)
+
+let test_clear_and_reuse () =
+  let w = Sim.Wheel.create () in
+  for i = 1 to 100 do
+    Sim.Wheel.push w ~time:(float_of_int i *. 7.3) i
+  done;
+  ignore (Sim.Wheel.pop w);
+  Sim.Wheel.clear w;
+  Alcotest.(check bool) "cleared" true (Sim.Wheel.is_empty w);
+  (* the cursor rewinds to zero: early times are pushable again *)
+  Sim.Wheel.push w ~time:0.5 42;
+  Alcotest.(check bool) "reusable after clear" true (Sim.Wheel.pop w = Some (0.5, 42))
+
+let test_far_future () =
+  (* Entries beyond the 262144-tick horizon land in the overflow list; the
+     era jump must reach them without crawling ~10^8 empty buckets, and
+     order must survive the refile. *)
+  let w = Sim.Wheel.create () in
+  Sim.Wheel.push w ~time:1.0e6 "far";
+  Sim.Wheel.push w ~time:0.25 "near";
+  Sim.Wheel.push w ~time:2.0e6 "farther";
+  Sim.Wheel.push w ~time:1.0e6 "far-tie";
+  let vs = List.init 4 (fun _ -> snd (Option.get (Sim.Wheel.pop w))) in
+  Alcotest.(check (list string))
+    "overflow drains in order" [ "near"; "far"; "far-tie"; "farther" ] vs
+
+let test_level_boundaries () =
+  (* One entry per level: inside level 0 (< 64 ticks), level 1 (< 4096),
+     level 2 (< 262144), and overflow — all relative to tick 1/64. *)
+  let w = Sim.Wheel.create () in
+  let cases = [ (0.5, "l0"); (10.0, "l1"); (1000.0, "l2"); (100000.0, "ovf") ] in
+  List.iter (fun (t, v) -> Sim.Wheel.push w ~time:t v) (List.rev cases);
+  let vs = List.init 4 (fun _ -> snd (Option.get (Sim.Wheel.pop w))) in
+  Alcotest.(check (list string)) "cascades preserve order" [ "l0"; "l1"; "l2"; "ovf" ] vs
+
+(* -- space-leak regression, mirroring the heap's -- *)
+
+let weak_ref v =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some v);
+  w
+
+let test_pop_releases_value () =
+  let h = Sim.Wheel.create () in
+  let w =
+    let payload = String.init 16 (fun i -> Char.chr (97 + (i mod 26))) in
+    Sim.Wheel.push h ~time:1.0 payload;
+    Sim.Wheel.push h ~time:1.0 "sentinel";
+    weak_ref payload
+  in
+  ignore (Sim.Wheel.pop h);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "wheel still holds the sentinel" 1 (Sim.Wheel.size h);
+  Alcotest.(check bool) "popped value collected" false (Weak.check w 0)
+
+let test_clear_releases_values () =
+  let h = Sim.Wheel.create () in
+  let ws =
+    List.init 8 (fun i ->
+        let payload = String.init 12 (fun j -> Char.chr (97 + ((i + j) mod 26))) in
+        Sim.Wheel.push h ~time:(float_of_int i) payload;
+        weak_ref payload)
+  in
+  ignore (Sim.Wheel.pop h);
+  Sim.Wheel.clear h;
+  Gc.full_major ();
+  Gc.full_major ();
+  List.iteri
+    (fun i w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "value %d collected after clear" i)
+        false (Weak.check w 0))
+    ws
+
+(* -- differential property: wheel vs heap vs sorted-list reference -- *)
+
+(* Ops replay an engine-like client: pops advance a monotone clock, pushes
+   schedule at now + delay.  Delay 0 exercises the drain-buffer merge;
+   repeated delays at a fixed clock produce exact duplicate timestamps
+   (tie-break territory); the huge delays overflow the wheel's horizon. *)
+let delay_of_op = function
+  | 1 -> Some 0.0
+  | 2 | 3 -> Some 0.125
+  | 4 -> Some 0.5
+  | 5 -> Some 1.0
+  | 6 -> Some 17.3
+  | 7 -> Some 5000.0
+  | 8 -> Some 1.0e6
+  | _ -> None (* 0 -> pop *)
+
+let rec ref_insert ((t, _) as e) = function
+  | [] -> [ e ]
+  | (t', _) :: _ as l when Float.compare t t' < 0 -> e :: l
+  | x :: rest -> x :: ref_insert e rest
+
+let prop_wheel_matches_heap =
+  QCheck.Test.make ~name:"random interleavings: wheel = heap = reference" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 200) (int_bound 8))
+    (fun ops ->
+      let wheel = Sim.Wheel.create () in
+      let heap = Sim.Heap.create () in
+      let reference = ref [] in
+      let now = ref 0.0 in
+      let payload = ref 0 in
+      let pop_all_equal () =
+        let a = Sim.Wheel.pop wheel in
+        let b = Sim.Heap.pop heap in
+        let c =
+          match !reference with
+          | [] -> None
+          | (t, v) :: rest ->
+              reference := rest;
+              Some (t, v)
+        in
+        (match a with Some (t, _) -> now := t | None -> ());
+        a = b && b = c
+      in
+      let step op =
+        match delay_of_op op with
+        | Some d ->
+            let time = !now +. d in
+            incr payload;
+            Sim.Wheel.push wheel ~time !payload;
+            Sim.Heap.push heap ~time !payload;
+            reference := ref_insert (time, !payload) !reference;
+            true
+        | None -> pop_all_equal ()
+      in
+      let ok = List.for_all step ops in
+      (* drain: every remaining element must still agree *)
+      let rec drain () =
+        if Sim.Wheel.is_empty wheel && Sim.Heap.is_empty heap then
+          (match !reference with [] -> true | _ :: _ -> false)
+        else pop_all_equal () && drain ()
+      in
+      ok && drain ())
+
+(* -- end-to-end: the engine is queue-blind -- *)
+
+let check_result_eq name (a : Sim.Engine.result) (b : Sim.Engine.result) =
+  Alcotest.(check (array (option int))) (name ^ ": decisions") a.decisions b.decisions;
+  Array.iteri
+    (fun i ta ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: decision time %d" name i)
+        true
+        (Float.compare ta b.decision_times.(i) = 0))
+    a.decision_times;
+  Alcotest.(check int) (name ^ ": sent") a.sent b.sent;
+  Alcotest.(check int) (name ^ ": delivered") a.delivered b.delivered;
+  Alcotest.(check int) (name ^ ": steps") a.steps b.steps;
+  Alcotest.(check bool)
+    (name ^ ": end time") true
+    (Float.compare a.end_time b.end_time = 0);
+  Alcotest.(check bool) (name ^ ": outcome") true (a.outcome = b.outcome);
+  Alcotest.(check (list string)) (name ^ ": violations") a.violations b.violations
+
+let engine_equiv (module A : Sim.Engine.APP) name ~n ~ones ~delays ~crash ~seeds () =
+  let module E = Sim.Engine.Make (A) in
+  let inputs = Workload.Scenario.split n ~ones in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (Sim.Engine.default_cfg ~n ~inputs ~seed) with
+          Sim.Engine.delays;
+          max_steps = 50_000;
+        }
+      in
+      let cfg =
+        match crash with
+        | None -> cfg
+        | Some (pid, t) ->
+            let crash_times = Array.make n None in
+            crash_times.(pid) <- Some t;
+            { cfg with crash_times }
+      in
+      let rh = E.run { cfg with queue = Sim.Engine.Queue_heap } in
+      let rw = E.run { cfg with queue = Sim.Engine.Queue_wheel } in
+      check_result_eq (Printf.sprintf "%s seed %d" name seed) rh rw)
+    seeds
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_engine_benor () =
+  engine_equiv
+    (module Protocols.Benor.App)
+    "ben-or" ~n:5 ~ones:2
+    ~delays:(Sim.Delay.Uniform (0.1, 1.0))
+    ~crash:None ~seeds ()
+
+let test_engine_benor_det_crash () =
+  engine_equiv
+    (module Protocols.Benor.App_det)
+    "ben-or-det+crash" ~n:3 ~ones:1 ~delays:(Sim.Delay.Exponential 0.7)
+    ~crash:(Some (0, 2.0)) ~seeds ()
+
+let test_engine_benor_pareto () =
+  (* Heavy-tailed delays spread events across many wheel levels. *)
+  engine_equiv
+    (module Protocols.Benor.App)
+    "ben-or-pareto" ~n:3 ~ones:1
+    ~delays:(Sim.Delay.Pareto { scale = 0.1; shape = 1.5 })
+    ~crash:None ~seeds ()
+
+let test_engine_zoo () =
+  (* Every zoo protocol, run through the model bridge under both queues. *)
+  List.iter
+    (fun (e : Flp.Zoo.entry) ->
+      let module P = (val e.protocol : Flp.Protocol.S) in
+      let module M = Sched.Model_app.Make (P) in
+      engine_equiv
+        (module M)
+        ("zoo:" ^ e.name) ~n:P.n ~ones:(min 1 P.n)
+        ~delays:(Sim.Delay.Uniform (0.1, 1.0))
+        ~crash:None ~seeds:[ 1; 2; 3 ] ())
+    Flp.Zoo.all
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "same tick, distinct times" `Quick
+            test_same_tick_distinct_times;
+          Alcotest.test_case "push into draining tick" `Quick
+            test_push_into_draining_tick;
+          Alcotest.test_case "past push rejected" `Quick test_past_push_rejected;
+          Alcotest.test_case "peek" `Quick test_peek;
+          Alcotest.test_case "clear and reuse" `Quick test_clear_and_reuse;
+          Alcotest.test_case "far future via overflow" `Quick test_far_future;
+          Alcotest.test_case "level boundaries" `Quick test_level_boundaries;
+          Alcotest.test_case "pop releases value" `Quick test_pop_releases_value;
+          Alcotest.test_case "clear releases values" `Quick test_clear_releases_values;
+          QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ben-or heap=wheel" `Quick test_engine_benor;
+          Alcotest.test_case "ben-or-det crash heap=wheel" `Quick
+            test_engine_benor_det_crash;
+          Alcotest.test_case "pareto delays heap=wheel" `Quick
+            test_engine_benor_pareto;
+          Alcotest.test_case "zoo heap=wheel" `Quick test_engine_zoo;
+        ] );
+    ]
