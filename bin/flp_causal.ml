@@ -92,7 +92,8 @@ let run protocols policies seeds ones delay_spec max_steps jobs cones critical
   (* Validate protocol names before fanning out, so a typo dies with a
      message instead of killing a worker domain. *)
   Array.iter
-    (fun c -> if Flp.Zoo.find c.proto = None then die "unknown zoo protocol %S" c.proto)
+    (fun c ->
+      if Option.is_none (Flp.Zoo.find c.proto) then die "unknown zoo protocol %S" c.proto)
     cells;
   let outcomes =
     Parallel.Pool.with_pool ~metrics:obs.Obs.metrics ~jobs (fun pool ->

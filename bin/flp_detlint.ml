@@ -9,7 +9,15 @@
    statically: unordered iteration, polymorphic compare, physical equality,
    ambient time/randomness, Marshal, and a shared-mutation race heuristic.
 
-     flp_detlint lib bin test            # audit the tree
+   With --typed, the audit additionally reads the .cmt files dune produced
+   and upgrades the heuristics into typed checks: poly-compare classifies
+   the instantiated comparison type, unguarded-shared-mutation becomes an
+   interprocedural closure-escape analysis with a lockset classifier, and
+   [@detlint.pure] contracts are enforced.  Sources without a cmt fall back
+   to the untyped parsetree pass.
+
+     flp_detlint lib bin test            # audit the tree (untyped tier)
+     flp_detlint lib bin test --typed    # typed tier (needs a dune build)
      flp_detlint lib --rule poly-compare # one rule
      flp_detlint lib bin test --json     # machine-readable report on stdout
      flp_detlint lib bin test --out r.json --jobs 4
@@ -37,7 +45,8 @@ let resolve_rules names =
       in
       go [] names
 
-let run list_rules_flag roots rules jobs json out metrics_file trace_file timings =
+let run list_rules_flag roots rules jobs json out metrics_file trace_file timings typed
+    cmt_dir =
   if list_rules_flag then list_rules ()
   else if jobs < 1 then begin
     Format.eprintf "flp_detlint: --jobs must be at least 1 (got %d)@." jobs;
@@ -53,9 +62,10 @@ let run list_rules_flag roots rules jobs json out metrics_file trace_file timing
         Format.eprintf "flp_detlint: %s@." msg;
         exit 2
     | Ok rules ->
+        let cmt_dir = if typed then Some cmt_dir else None in
         let code =
           Obs.with_reporting ?metrics_file ?trace_file ~timings (fun obs ->
-              match Detlint.Runner.run ~obs ~rules ~jobs roots with
+              match Detlint.Runner.run ~obs ~rules ~jobs ?cmt_dir roots with
               | Error msg ->
                   Format.eprintf "flp_detlint: %s@." msg;
                   2
@@ -111,6 +121,20 @@ let trace_arg =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a span trace (one JSON object per line) to $(docv).")
 
+let typed_arg =
+  Arg.(value & flag
+       & info [ "typed" ]
+           ~doc:"Run the typed tier: read the .cmt files a dune build produced \
+                 (see --cmt-dir) and audit each compiled source on its \
+                 typedtree; sources without a cmt fall back to the untyped \
+                 parsetree pass.")
+
+let cmt_dir_arg =
+  Arg.(value & opt string "_build/default"
+       & info [ "cmt-dir" ] ~docv:"DIR"
+           ~doc:"Directory scanned (recursively) for .cmt files when --typed \
+                 is given.")
+
 let timings_arg =
   Arg.(value & flag
        & info [ "timings" ]
@@ -123,6 +147,6 @@ let cmd =
        ~doc:"Audit the repository's OCaml sources for determinism and data-race hazards")
     Term.(
       const run $ list_rules_arg $ roots_arg $ rules_arg $ jobs_arg $ json_arg $ out_arg
-      $ metrics_arg $ trace_arg $ timings_arg)
+      $ metrics_arg $ trace_arg $ timings_arg $ typed_arg $ cmt_dir_arg)
 
 let () = exit (Cmd.eval cmd)

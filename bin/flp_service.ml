@@ -42,7 +42,9 @@ let run protocols policies queues loads clients batches pipelines n shards delay
     seed max_steps jobs hist_bounds wall out obs =
   let protocols = if protocols = [] then [ "fast"; "classic" ] else protocols in
   List.iter
-    (fun p -> if Service.Decree.find p = None then die "unknown protocol %S (fast | classic)" p)
+    (fun p ->
+      if Option.is_none (Service.Decree.find p) then
+        die "unknown protocol %S (fast | classic)" p)
     protocols;
   let policies = if policies = [] then [ "oblivious" ] else policies in
   let policies =

@@ -54,12 +54,33 @@ let parse_spec s =
   in
   (rule, rest)
 
-(* Comment pragmas: one per line, covering that line and the next, so the
-   pragma can sit inline after the flagged expression or on its own line
-   directly above it. *)
+(* Scan [line] entering at comment depth [d]; returns the depth after the
+   line and whether any non-whitespace appeared outside a comment.  Strings
+   containing "(*" would fool this, but a suppression whose scope hinges on
+   such a line should be rewritten anyway. *)
+let scan_line d line =
+  let n = String.length line in
+  let rec go i d significant =
+    if i >= n then (d, significant)
+    else if i + 1 < n && line.[i] = '(' && line.[i + 1] = '*' then
+      go (i + 2) (d + 1) significant
+    else if i + 1 < n && line.[i] = '*' && line.[i + 1] = ')' && d > 0 then
+      go (i + 2) (d - 1) significant
+    else if d = 0 && line.[i] <> ' ' && line.[i] <> '\t' && line.[i] <> '\r' then
+      go (i + 1) d true
+    else go (i + 1) d significant
+  in
+  go 0 d false
+
+(* Comment pragmas: one per line, covering that line and the next
+   *significant* line — blank lines and comment-only lines between the
+   pragma and the expression it excuses do not break the association, so a
+   pragma can sit inline after the flagged expression, directly above it, or
+   above a comment that explains the site. *)
 let of_comments (src : Source.t) =
+  let lines = Array.of_list (Source.lines src) in
   let acc = ref [] in
-  List.iteri
+  Array.iteri
     (fun i line ->
       match find_sub ~sub:marker line with
       | None -> ()
@@ -68,11 +89,21 @@ let of_comments (src : Source.t) =
           let spec = String.sub line (at + String.length marker)
                        (String.length line - at - String.length marker) in
           let rule, reason = parse_spec spec in
+          let last =
+            let rec next j d =
+              if j >= Array.length lines then lnum
+              else
+                let d, significant = scan_line d lines.(j) in
+                if significant then j + 1 else next (j + 1) d
+            in
+            (* Threading the depth from the pragma's own line keeps a
+               multi-line pragma comment's continuation non-significant. *)
+            next (i + 1) (fst (scan_line 0 line))
+          in
           acc :=
-            { rule; file = src.Source.path; line = lnum; first = lnum;
-              last = lnum + 1; reason }
+            { rule; file = src.Source.path; line = lnum; first = lnum; last; reason }
             :: !acc)
-    (Source.lines src);
+    lines;
   List.rev !acc
 
 let of_payload (payload : Parsetree.payload) =

@@ -4,7 +4,9 @@
     reason:
 
     - a comment line pragma — [(* detlint: allow rule-id -- reason *)] — which
-      covers its own line and the next;
+      covers its own line and the next {e significant} line (blank lines and
+      comment-only lines in between are skipped, so the pragma may sit above
+      an explanatory comment);
     - an expression or binding attribute —
       [[@detlint.allow "rule-id -- reason"]] — covering the attributed node;
     - a floating module attribute — [[@@@detlint.allow "rule-id -- reason"]] —

@@ -6,6 +6,8 @@ type id =
   | Ambient_random
   | Marshal
   | Unguarded_shared_mutation
+  | Atomic_rmw
+  | Purity_contract
   | Bad_suppression
   | Unused_suppression
 
@@ -146,6 +148,44 @@ let unguarded_shared_mutation =
        spelled out";
   }
 
+let atomic_rmw =
+  {
+    id = Atomic_rmw;
+    name = "atomic-read-modify-write";
+    severity = Lint.Severity.Warn;
+    synopsis = "Atomic.set of a value computed from Atomic.get of the same atomic";
+    doc =
+      "Flags [Atomic.set a (f (Atomic.get a))]: the get and the set are each \
+       atomic, but the pair is not — another domain's update between them is \
+       silently lost, and which updates survive depends on scheduling, so \
+       results stop being replay-stable.  Every read-modify-write must be a \
+       single atomic step.";
+    hint =
+      "use Atomic.incr / Atomic.fetch_and_add for counters, or a \
+       compare_and_set retry loop for general read-modify-write";
+  }
+
+let purity_contract =
+  {
+    id = Purity_contract;
+    name = "purity-contract";
+    severity = Lint.Severity.Error;
+    synopsis = "a [@detlint.pure] binding performs an ambient effect or mutation";
+    doc =
+      "Checks the [@detlint.pure] attribute: a certified binding (and, \
+       transitively, every callee the cmt index resolves) must not mutate \
+       its arguments, captured state or globals, and must not reach ambient \
+       effects (wall clock, stdlib Random, IO, environment, domain \
+       submission).  Mutation of fresh local state that the function itself \
+       creates is allowed — purity here is observational.  The rule only \
+       runs on the typed tier (--typed), where the call graph is resolved; \
+       calls that leave the indexed set are assumed effect-free, which is \
+       the contract's documented soundness caveat.";
+    hint =
+      "drop the effect, thread the state explicitly, or remove the \
+       [@detlint.pure] attribute if the function is genuinely effectful";
+  }
+
 let bad_suppression =
   {
     id = Bad_suppression;
@@ -191,6 +231,8 @@ let all =
     ambient_random;
     marshal;
     unguarded_shared_mutation;
+    atomic_rmw;
+    purity_contract;
     bad_suppression;
     unused_suppression;
   ]

@@ -14,6 +14,8 @@ type id =
   | Ambient_random
   | Marshal
   | Unguarded_shared_mutation
+  | Atomic_rmw
+  | Purity_contract
   | Bad_suppression
   | Unused_suppression
 
@@ -39,6 +41,14 @@ val ambient_random : t
 val marshal : t
 
 val unguarded_shared_mutation : t
+
+val atomic_rmw : t
+(** [Warn]-severity: [Atomic.set a (f (Atomic.get a))] lost-update shapes;
+    each step is atomic but the pair is not. *)
+
+val purity_contract : t
+(** [Error]-severity: a [@detlint.pure] binding that (transitively) mutates
+    non-local state or reaches an ambient effect.  Typed tier only. *)
 
 val bad_suppression : t
 

@@ -278,6 +278,51 @@ let unguarded_shared_mutation (src : Source.t) =
         List.rev !acc
       end
 
+(* --- atomic-read-modify-write -------------------------------------------- *)
+
+(* Whether [Atomic.get base] (same syntactic base ident) occurs under [e]. *)
+let contains_atomic_get name (e : Parsetree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_apply (f, (Asttypes.Nolabel, a) :: _) -> (
+              match path_of_expr f with
+              | Some fp when normalize fp = [ "Atomic"; "get" ] -> (
+                  match base_name a with
+                  | Some n when n = name -> found := true
+                  | Some _ | None -> ())
+              | Some _ | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let atomic_rmw src =
+  scan_exprs src (fun acc (e : Parsetree.expression) ->
+      match e.pexp_desc with
+      | Pexp_apply (f, (Asttypes.Nolabel, a) :: (Asttypes.Nolabel, v) :: _) -> (
+          match path_of_expr f with
+          | Some fp when normalize fp = [ "Atomic"; "set" ] -> (
+              match base_name a with
+              | Some n when contains_atomic_get n v ->
+                  acc :=
+                    finding Rule.atomic_rmw ~loc:e.pexp_loc
+                      (Printf.sprintf
+                         "Atomic.set of '%s' from a value computed with \
+                          Atomic.get '%s': the read-modify-write is not one \
+                          atomic step, so concurrent updates are lost"
+                         n n)
+                    :: !acc
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+      | _ -> ())
+
 let bad_suppression (src : Source.t) =
   let rule = Rule.bad_suppression in
   List.filter_map
@@ -306,6 +351,9 @@ let check (src : Source.t) (rule : Rule.t) =
   | Rule.Ambient_random -> ambient_random src
   | Rule.Marshal -> marshal src
   | Rule.Unguarded_shared_mutation -> unguarded_shared_mutation src
+  | Rule.Atomic_rmw -> atomic_rmw src
+  (* typed tier only: the contract needs the resolved call graph *)
+  | Rule.Purity_contract -> []
   | Rule.Bad_suppression -> bad_suppression src
   (* computed by the runner from suppression use counts; no AST scan here *)
   | Rule.Unused_suppression -> []

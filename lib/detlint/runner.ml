@@ -37,8 +37,24 @@ let collect_files roots =
              end)
            files)
 
-let check_source ?(rules = Rule.all) (src : Source.t) =
-  let findings = Rules.check_all ~rules src in
+let check_source ?(rules = Rule.all) ?typed (src : Source.t) =
+  (* On a typed run, the ids Trules implements come from the typedtree and
+     are stripped from the untyped pass — same rule names, same pragmas,
+     better evidence.  A source without a cmt (not compiled, or failing to
+     compile) keeps the full untyped rule set as the fallback tier. *)
+  let untyped_rules =
+    match typed with
+    | None -> rules
+    | Some _ ->
+        List.filter (fun (r : Rule.t) -> not (List.mem r.Rule.id Trules.typed_ids)) rules
+  in
+  let findings = Rules.check_all ~rules:untyped_rules src in
+  let findings =
+    match typed with
+    | None -> findings
+    | Some tsrc ->
+        List.stable_sort Finding.compare (findings @ Trules.check_all ~rules tsrc)
+  in
   let kept, counts = Pragma.apply (Pragma.collect src) findings in
   (* A valid suppression whose target rule ran here yet silenced nothing is
      stale.  Emitted after Pragma.apply, so the warning itself cannot be
@@ -93,8 +109,19 @@ let check_source ?(rules = Rule.all) (src : Source.t) =
   in
   (kept, suppressions)
 
-let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
+let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) ?cmt_dir roots =
   if jobs < 1 then invalid_arg "Detlint.Runner.run: jobs must be >= 1";
+  match
+    (* The cmt index — typedtrees, type-declaration tables, effect
+       summaries — is built sequentially before any file is audited, so the
+       parallel per-file checks are pure lookups into frozen tables and the
+       report stays byte-identical at every jobs level. *)
+    match cmt_dir with
+    | None -> Ok None
+    | Some dir -> Result.map Option.some (Typed.load ~cmt_dir:dir)
+  with
+  | Error _ as e -> e
+  | Ok index -> (
   match collect_files roots with
   | Error _ as e -> e
   | Ok files ->
@@ -107,7 +134,12 @@ let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
           (fun () ->
             Obs.Metrics.time t_file (fun () ->
                 match Source.load path with
-                | Ok src -> check_source ~rules src
+                | Ok src ->
+                    let typed =
+                      Option.bind index (fun ix -> Typed.source_of ix ~path)
+                    in
+                    let findings, sups = check_source ~rules ?typed src in
+                    (findings, sups, Option.is_some typed)
                 | Error msg ->
                     ( [
                         Finding.v ~rule:parse_error_rule ~severity:Lint.Severity.Error
@@ -115,7 +147,8 @@ let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
                           ~message:(Printf.sprintf "cannot read source: %s" msg)
                           ~hint:"";
                       ],
-                      [] )))
+                      [],
+                      false )))
       in
       (* Per-file audits are independent; the pool's [map] keeps results in
          input order, so the merged report is jobs-invariant even before the
@@ -126,12 +159,16 @@ let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
           Parallel.Pool.with_pool ~metrics ~jobs (fun pool ->
               Array.to_list (Parallel.Pool.map pool check (Array.of_list files)))
       in
-      let findings = List.concat_map fst results in
-      let suppressions = List.concat_map snd results in
+      let findings = List.concat_map (fun (f, _, _) -> f) results in
+      let suppressions = List.concat_map (fun (_, s, _) -> s) results in
+      let typed_files =
+        List.fold_left (fun acc (_, _, t) -> if t then acc + 1 else acc) 0 results
+      in
       List.iter
         (fun (f : Finding.t) ->
           Obs.Metrics.incr (Obs.Metrics.counter metrics ("detlint.findings." ^ f.Finding.rule)) 1)
         findings;
+      Obs.Metrics.incr (Obs.Metrics.counter metrics "detlint.typed_files") typed_files;
       Obs.Metrics.incr
         (Obs.Metrics.counter metrics "detlint.suppressed")
         (List.fold_left (fun acc (s : Report.suppression) -> acc + s.Report.used) 0 suppressions);
@@ -140,9 +177,11 @@ let run ?(obs = Obs.disabled) ?(rules = Rule.all) ?(jobs = 1) roots =
            {
              Report.roots;
              files = List.length files;
+             typed = Option.is_some index;
+             typed_files;
              rules_run = List.map (fun (r : Rule.t) -> r.Rule.name) rules;
              findings;
              suppressions;
-           })
+           }))
 
 let exit_code report = if Report.error_count report > 0 then 1 else 0

@@ -12,21 +12,31 @@ val collect_files : string list -> (string list, string) result
     (\[_build\]…) skipped.  [Error] when a root does not exist. *)
 
 val check_source :
-  ?rules:Rule.t list -> Source.t -> Finding.t list * Report.suppression list
+  ?rules:Rule.t list ->
+  ?typed:Typed.source ->
+  Source.t ->
+  Finding.t list * Report.suppression list
 (** Audit one in-memory source: run the rules, apply its suppressions,
     append an unsuppressible [Warn] {!Rule.unused_suppression} finding for
     every valid suppression whose target rule was selected yet silenced
     nothing, and prepend an unsuppressible [parse-error] finding when the
-    source does not parse.  The test fixtures' entry point. *)
+    source does not parse.  With [?typed], the ids {!Trules} implements run
+    on the typedtree instead of the parsetree (same rule names, so the same
+    pragmas govern both tiers).  The test fixtures' entry point. *)
 
 val run :
   ?obs:Obs.t ->
   ?rules:Rule.t list ->
   ?jobs:int ->
+  ?cmt_dir:string ->
   string list ->
   (Report.t, string) result
-(** Audit every source under the roots.  [Error] only for usage problems
-    (missing root); source-level problems are findings. *)
+(** Audit every source under the roots.  With [?cmt_dir], build the typed
+    tier's cmt index from that directory first (sequentially — per-file
+    checks stay pure lookups) and audit each source whose cmt is found on
+    the typed tier; sources without one fall back to the untyped pass.
+    [Error] only for usage problems (missing root, unreadable or empty cmt
+    directory); source-level problems are findings. *)
 
 val exit_code : Report.t -> int
 (** 1 when any error-severity finding survived, else 0 — the CI gate. *)

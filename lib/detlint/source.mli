@@ -21,3 +21,9 @@ val load : string -> (t, string) result
     not {e parse} still loads, with [ast = Error _]). *)
 
 val lines : t -> string list
+
+val parser_mutex : Mutex.t
+(** Serialises every use of compiler-libs' global-state front end (the
+    lexer's shared buffers, and the typechecker's environment caches used by
+    {!Typed.fixture}).  Scans over the resulting immutable trees run in
+    parallel; only the front end is single-threaded. *)

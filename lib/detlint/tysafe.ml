@@ -1,0 +1,255 @@
+(* Is polymorphic structural comparison a total, deterministic order at this
+   (instantiated) type?  The classifier walks the [Types.type_expr] the
+   typechecker recorded at the use site, expanding abbreviations and variant/
+   record bodies through the cmt index, and returns one of three verdicts:
+
+   - [Safe]: every reachable component compares totally and deterministically
+     (no float, no closure, no identity-dependent structure);
+   - [Unsafe r]: a component [r] provably breaks the order — float (nan falls
+     through every comparison), functions (compare raises), lazy values,
+     balanced-tree containers whose shape is not canonical (Set/Map), state
+     whose bytes depend on scheduling (Hashtbl buckets, Atomic, channels);
+   - [Undecidable r]: the walk hit something it cannot see through — a type
+     variable still polymorphic at the site, an abstract type outside the
+     index, an open polymorphic-variant row, a functor-generated path.
+
+   Deliberately NOT used: [Ctype.expand_head] and [Printtyp].  Both thread
+   global mutable state (environment caches, naming contexts) that would
+   break the jobs-invariance guarantee; expansion here is a read-only lookup
+   in tables frozen at index-build time, and rendering is a hand-rolled
+   deterministic printer.
+
+   Sound over-approximation for parameterised types: a declaration's body is
+   classified with its parameters as holes (a hole is Safe — the actual
+   arguments are classified separately at the use site), so instantiation
+   never needs substitution.  This can only over-report, never under-report:
+   a parameter occurring under a constructor the body makes unsafe is caught
+   by the body; an unsafe argument is caught by the argument walk. *)
+
+type verdict = Safe | Unsafe of string | Undecidable of string
+
+let worst a b =
+  match (a, b) with
+  | Unsafe _, _ -> a
+  | _, Unsafe _ -> b
+  | Undecidable _, _ -> a
+  | _, Undecidable _ -> b
+  | Safe, Safe -> Safe
+
+let worst_of = List.fold_left worst Safe
+
+(* --- builtin tables (normalized dotted names) ---------------------------- *)
+
+let safe0 =
+  [
+    "int"; "char"; "bool"; "string"; "bytes"; "unit"; "int32"; "int64"; "nativeint";
+    "Int.t"; "Char.t"; "Bool.t"; "String.t"; "Bytes.t"; "Unit.t"; "Int32.t";
+    "Int64.t"; "Nativeint.t";
+  ]
+
+(* Safe exactly when every type argument is: the container itself adds only
+   structure that polymorphic compare orders canonically. *)
+let safe_if_args =
+  [ "list"; "option"; "array"; "ref"; "result"; "List.t"; "Option.t"; "Array.t";
+    "Result.t"; "Either.t" ]
+
+let unsafe0 =
+  [
+    ("float", "float (nan escapes every comparison)");
+    ("Float.t", "float (nan escapes every comparison)");
+    ("floatarray", "float array (nan escapes every comparison)");
+    ("lazy_t", "lazy value (compare may inspect the closure)");
+    ("Lazy.t", "lazy value (compare may inspect the closure)");
+    ("exn", "exception (extensible: constructors compare by identity)");
+    ("Hashtbl.t", "Hashtbl.t (bucket layout depends on insertion history)");
+    ("Buffer.t", "Buffer.t (spare capacity is not canonical)");
+    ("Queue.t", "Queue.t (internal cells are cyclic/mutable)");
+    ("Stack.t", "Stack.t (internal representation is not canonical)");
+    ("Seq.t", "Seq.t (a sequence is a closure)");
+    ("Set.t", "Set.t (equal sets can have different tree shapes)");
+    ("Map.t", "Map.t (equal maps can have different tree shapes)");
+    ("Atomic.t", "Atomic.t (contents race with other domains)");
+    ("Mutex.t", "Mutex.t (runtime handle)");
+    ("Condition.t", "Condition.t (runtime handle)");
+    ("Domain.t", "Domain.t (runtime handle)");
+    ("Weak.t", "Weak.t (contents depend on the GC)");
+    ("Obj.t", "Obj.t (untyped)");
+    ("in_channel", "channel (runtime handle)");
+    ("out_channel", "channel (runtime handle)");
+    ("Format.formatter", "formatter (contains closures)");
+  ]
+
+let dotted segs = String.concat "." segs
+
+(* --- deterministic shallow renderer (for messages) ----------------------- *)
+
+let rec render depth ty =
+  if depth <= 0 then "_"
+  else
+    match Types.get_desc ty with
+    | Types.Tvar (Some v) -> "'" ^ v
+    | Types.Tvar None -> "'_"
+    | Types.Tarrow (_, a, b, _) -> render (depth - 1) a ^ " -> " ^ render (depth - 1) b
+    | Types.Ttuple tys ->
+        "(" ^ String.concat " * " (List.map (render (depth - 1)) tys) ^ ")"
+    | Types.Tconstr (p, [], _) -> render_head p
+    | Types.Tconstr (p, args, _) ->
+        let args = List.map (render (depth - 1)) args in
+        (match args with
+        | [ a ] -> a ^ " " ^ render_head p
+        | _ -> "(" ^ String.concat ", " args ^ ") " ^ render_head p)
+    | Types.Tobject _ -> "< .. >"
+    | Types.Tvariant _ -> "[ .. ]"
+    | Types.Tpoly (t, _) -> render depth t
+    | Types.Tpackage _ -> "(module _)"
+    | _ -> "_"
+
+and render_head p =
+  match Tast.flatten_path p with
+  | Some segs -> dotted (Tast.normalize segs)
+  | None -> Path.name p
+
+let to_string ty = render 4 ty
+
+(* --- the walk ------------------------------------------------------------ *)
+
+let max_depth = 60
+
+let hole_ids holes = List.map Types.get_id holes
+
+(* [ordering] is the [=]/[<] family's mode: primitive comparison of floats
+   is a deterministic total function (nan answers false consistently), so
+   float components are tolerated there; [compare]/sort/functor sites keep
+   the strict reading, where nan breaks the total order. *)
+let float_names = [ "float"; "Float.t"; "floatarray" ]
+
+let rec go (index : Typed.index) ~ordering ~owner ~holes ~visited depth ty =
+  if depth > max_depth then Undecidable "type too deep to classify"
+  else
+    match Types.get_desc ty with
+    | Types.Tvar _ ->
+        if List.mem (Types.get_id ty) holes then Safe
+        else Undecidable "polymorphic at this site (type variable)"
+    | Types.Tunivar _ -> Undecidable "polymorphic at this site (type variable)"
+    | Types.Tarrow _ -> Unsafe "function type (compare raises Invalid_argument)"
+    | Types.Ttuple tys ->
+        worst_of (List.map (go index ~ordering ~owner ~holes ~visited (depth + 1)) tys)
+    | Types.Tpoly (t, _) -> go index ~ordering ~owner ~holes ~visited (depth + 1) t
+    | Types.Tobject _ -> Unsafe "object type (compare inspects methods)"
+    | Types.Tfield _ | Types.Tnil -> Unsafe "object type (compare inspects methods)"
+    | Types.Tpackage _ -> Unsafe "first-class module (contains closures)"
+    | Types.Tvariant row ->
+        if not (Types.row_closed row) then
+          Undecidable "open polymorphic-variant row"
+        else
+          worst_of
+            (List.map
+               (fun (_, f) ->
+                 match Types.row_field_repr f with
+                 | Types.Rpresent (Some t) ->
+                     go index ~ordering ~owner ~holes ~visited (depth + 1) t
+                 | Types.Rpresent None -> Safe
+                 | Types.Reither (_, ts, _) ->
+                     worst_of
+                       (List.map (go index ~ordering ~owner ~holes ~visited (depth + 1)) ts)
+                 | Types.Rabsent -> Safe)
+               (Types.row_fields row))
+    | Types.Tconstr (p, args, _) -> constr index ~ordering ~owner ~holes ~visited depth p args
+    | Types.Tlink _ | Types.Tsubst _ ->
+        (* get_desc normalizes these away; unreachable. *)
+        Undecidable "unexpected type node"
+
+and constr index ~ordering ~owner ~holes ~visited depth p args =
+  let classify_args () =
+    worst_of (List.map (go index ~ordering ~owner ~holes ~visited (depth + 1)) args)
+  in
+  match Tast.flatten_path p with
+  | None -> Undecidable ("functor-generated type " ^ Path.name p)
+  | Some raw_segs -> (
+      let name = dotted (Tast.normalize raw_segs) in
+      (* Suffix aliases: a local [module H = Hashtbl] leaves the head intact,
+         so match builtins on the last two segments as well. *)
+      let short = dotted (Tast.last_segs 2 (Tast.normalize raw_segs)) in
+      if List.mem name safe0 then Safe
+      else if ordering && (List.mem name float_names || List.mem short float_names)
+      then Safe
+      else
+        match
+          List.find_opt (fun (n, _) -> n = name || n = short) unsafe0
+        with
+        | Some (_, reason) -> Unsafe reason
+        | None ->
+            if List.mem name safe_if_args then classify_args ()
+            else
+              resolve_decl index ~ordering ~owner ~visited depth p name raw_segs
+                classify_args)
+
+and resolve_decl index ~ordering ~owner ~visited depth p name raw_segs classify_args =
+  let candidates =
+    match p with
+    | Path.Pident id -> [ owner ^ ":" ^ Ident.unique_name id ]
+    | _ -> Tast.lookup_candidates raw_segs
+  in
+  let table key =
+    match p with
+    | Path.Pident _ -> Hashtbl.find_opt index.Typed.local_decls key
+    | _ -> Hashtbl.find_opt index.Typed.decls key
+  in
+  match List.find_map (fun k -> Option.map (fun d -> (k, d)) (table k)) candidates with
+  | None ->
+      worst (Undecidable ("abstract or out-of-index type " ^ name)) (classify_args ())
+  | Some (key, (decl_owner, decl)) ->
+      if List.mem key visited then
+        (* Recursive type: assume the knot is safe; any unsafe component on
+           another path through the body still surfaces. *)
+        classify_args ()
+      else
+        worst
+          (decl_verdict index ~ordering ~owner:decl_owner ~visited:(key :: visited)
+             ~name depth decl)
+          (classify_args ())
+
+(* The verdict of a declaration's own body (manifest, record fields, variant
+   constructor arguments), with its parameters as holes. *)
+and decl_verdict index ~ordering ~owner ~visited ~name depth
+    (decl : Types.type_declaration) =
+  let holes = hole_ids decl.Types.type_params in
+  match decl.Types.type_manifest with
+  | Some m -> go index ~ordering ~owner ~holes ~visited (depth + 1) m
+  | None -> (
+      match decl.Types.type_kind with
+      | Types.Type_abstract -> Undecidable ("abstract type " ^ name)
+      | Types.Type_open ->
+          Unsafe ("extensible type " ^ name ^ " (constructors compare by identity)")
+      | Types.Type_record (lbls, _) ->
+          worst_of
+            (List.map
+               (fun (ld : Types.label_declaration) ->
+                 go index ~ordering ~owner ~holes ~visited (depth + 1) ld.Types.ld_type)
+               lbls)
+      | Types.Type_variant (cstrs, _) ->
+          worst_of
+            (List.map
+               (fun (cd : Types.constructor_declaration) ->
+                 match cd.Types.cd_args with
+                 | Types.Cstr_tuple tys ->
+                     worst_of
+                       (List.map (go index ~ordering ~owner ~holes ~visited (depth + 1)) tys)
+                 | Types.Cstr_record lbls ->
+                     worst_of
+                       (List.map
+                          (fun (ld : Types.label_declaration) ->
+                            go index ~ordering ~owner ~holes ~visited (depth + 1)
+                              ld.Types.ld_type)
+                          lbls))
+               cstrs))
+
+(* Classify the instantiated type [ty] as recorded in compilation unit
+   [owner] (local ident stamps resolve in that unit's table). *)
+let classify ?(ordering = false) (index : Typed.index) ~owner ty =
+  go index ~ordering ~owner ~holes:[] ~visited:[] 0 ty
+
+(* Classify a declaration directly — the Set.Make/Map.Make functor check,
+   where the element type arrives as a signature item, not a use site. *)
+let classify_decl (index : Typed.index) ~owner decl =
+  decl_verdict index ~ordering:false ~owner ~visited:[] ~name:"t" 0 decl

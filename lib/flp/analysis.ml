@@ -407,7 +407,7 @@ module Make (P : Protocol.S) = struct
           let frontier = ref [ { node = 0; cfg = root_cfg; sleep = [] } ] in
           let wave = ref 0 in
           while !frontier <> [] do
-            let w0 = if wave_hook = None then 0.0 else Obs.Clock.now () in
+            let w0 = if Option.is_none wave_hook then 0.0 else Obs.Clock.now () in
             let batch = Array.of_list !frontier in
             let nb = Array.length batch in
             (* Probe phase: pure per entry, store read-only. *)

@@ -353,7 +353,7 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
 
     let pack_ro s t = try Some (encode ~intern:false s t) with Unknown_part -> None
 
-    let read_varint key pos =
+    let[@detlint.pure] read_varint key pos =
       let rec go shift acc pos =
         let c = Char.code (String.unsafe_get key pos) in
         let acc = acc lor ((c land 0x7f) lsl shift) in
@@ -361,7 +361,7 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
       in
       go 0 0 pos
 
-    let unpack s key : t =
+    let[@detlint.pure] unpack s key : t =
       let pos = ref 0 in
       let next () =
         let v, p = read_varint key !pos in
@@ -383,7 +383,7 @@ module Make (P : Protocol.S) : S with type state = P.state and type msg = P.msg 
 
     (* FNV-1a, masked to 32 bits per step so the value is identical on every
        platform word size. *)
-    let hash key =
+    let[@detlint.pure] hash key =
       let h = ref 0x811c9dc5 in
       String.iter
         (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land 0xffffffff)

@@ -33,8 +33,7 @@ module And_wait = struct
   let pp_state ppf st =
     Format.fprintf ppf "{x=%a sent=%b peer=%a}" Value.pp st.input st.sent pp_vopt st.peer
 
-  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -77,8 +76,7 @@ module Leader = struct
       (if st.leader then "leader " else "")
       Value.pp st.input st.sent pp_vopt st.heard
 
-  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -131,8 +129,7 @@ module Majority = struct
       (String.concat ";"
          (List.map (fun (p, v) -> Printf.sprintf "%d:%s" p (Value.to_string v)) st.votes))
 
-  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -171,8 +168,7 @@ module First_wins = struct
     Format.fprintf ppf "{x=%a sent=%b decided=%a}" Value.pp st.input st.sent pp_vopt
       st.decided
 
-  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -429,8 +425,7 @@ let race ~cap : Protocol.t =
         (if st.halted then " halt" else "")
         pp_vopt st.decided
 
-    (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-    let compare_msg = Stdlib.compare
+    let compare_msg : msg -> msg -> int = Stdlib.compare
 
     let hash_msg = Hashtbl.hash
 
@@ -490,8 +485,7 @@ let pipeline ~ticks : Protocol.t =
       Format.fprintf ppf "{x=%a t=%d sent=%b got=%a}" Value.pp st.x st.ticks st.sent
         pp_vopt st.got
 
-    (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-    let compare_msg = Stdlib.compare
+    let compare_msg : msg -> msg -> int = Stdlib.compare
 
     let hash_msg = Hashtbl.hash
 
@@ -558,8 +552,7 @@ module Parity = struct
         Format.fprintf ppf "{gate %s dec=%a}" (if g.parity then "odd" else "even") pp_vopt
           g.decided
 
-  (* detlint: allow poly-compare -- msg carries no floats (kept that way by the test_detlint float-free audit), so the structural order is total *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 

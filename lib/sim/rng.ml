@@ -7,7 +7,7 @@ let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
 
 (* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
-let mix z =
+let[@detlint.pure] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
@@ -18,7 +18,7 @@ let int64 t =
 
 let split t = { state = int64 t }
 
-let split_at t i =
+let[@detlint.pure] split_at t i =
   if i < 0 then invalid_arg "Rng.split_at: negative index";
   (* Keyed derivation: land where [i + 1] sequential gamma steps from the
      current state would, then finalize.  Pure in (state, i) — [t] is not

@@ -1,7 +1,8 @@
 (* The detlint test bench: one inline fixture per rule (each tripping exactly
    the intended rule and silenced by exactly its own pragma), the suppression
-   bookkeeping, and the self-audit that keeps this repository's own tree
-   detlint-clean at every --jobs level.
+   bookkeeping, the typed tier's fixture matrix (races, purity contracts,
+   type-proved poly-compare), and the self-audits that keep this repository's
+   own tree detlint-clean at every --jobs level.
 
    Pragma text inside fixture strings is assembled by concatenation so the
    self-audit's raw-text scanner never mistakes a fixture literal for a real
@@ -32,6 +33,9 @@ let fixtures =
     ("ambient-time", [ "let t () = Unix.gettimeofday ()" ], 0);
     ("ambient-random", [ "let r () = Random.int 10" ], 0);
     ("marshal", [ "let f x = Marshal.to_string x []" ], 0);
+    ( "atomic-read-modify-write",
+      [ "let f a = Atomic.set a (1 + Atomic.get a)" ],
+      0 );
     ( "unguarded-shared-mutation",
       [
         "let counter = ref 0";
@@ -98,6 +102,17 @@ let test_other_pragma_is_inert () =
           Alcotest.(check int) (other ^ " pragma unused") 0 s.Detlint.Report.used)
         sups)
     fixtures
+
+let test_atomic_rmw_negatives () =
+  (* A plain store is not a read-modify-write... *)
+  let findings, _ = audit [ "let f a = Atomic.set a 0" ] in
+  Alcotest.(check (list string)) "plain store clean" [] (rule_names findings);
+  (* ...nor is a store computed from a *different* atomic. *)
+  let findings, _ = audit [ "let f a b = Atomic.set a (Atomic.get b)" ] in
+  Alcotest.(check (list string)) "cross-variable store clean" [] (rule_names findings);
+  (* The single-step primitives are the fix, not a finding. *)
+  let findings, _ = audit [ "let f a = Atomic.incr a" ] in
+  Alcotest.(check (list string)) "fetch-style primitive clean" [] (rule_names findings)
 
 let test_unused_suppression () =
   (* A valid, reasoned pragma that silences nothing is a Warn finding. *)
@@ -176,6 +191,34 @@ let test_attribute_suppressions () =
   in
   Alcotest.(check (list string)) "floating attribute silences all" [] (rule_names findings)
 
+(* A comment pragma documents "the next line"; what it must mean is the next
+   *significant* line — blank lines and comment lines between the pragma and
+   the expression it vouches for do not break the association, and a
+   significant line consumes the scope even when innocent. *)
+let test_pragma_scope () =
+  let silenced name lines =
+    let findings, sups = audit lines in
+    Alcotest.(check (list string)) (name ^ ": silenced") [] (rule_names findings);
+    match sups with
+    | [ s ] -> Alcotest.(check int) (name ^ ": used once") 1 s.Detlint.Report.used
+    | sups -> Alcotest.failf "%s: expected one suppression, got %d" name (List.length sups)
+  in
+  silenced "blank line between"
+    [ pragma "ambient-random"; ""; "let r () = Random.int 10" ];
+  silenced "comment line between"
+    [ pragma "ambient-random"; "(* commentary *)"; "let r () = Random.int 10" ];
+  silenced "multi-line comment between"
+    [ pragma "ambient-random"; "(* two"; "   lines *)"; "let r () = Random.int 10" ];
+  (* An intervening significant line consumes the scope: the violation two
+     significant lines down stays a finding and the pragma goes stale. *)
+  let findings, _ =
+    audit [ pragma "ambient-random"; "let ok = 1"; "let r () = Random.int 10" ]
+  in
+  Alcotest.(check (list string))
+    "significant line consumes the scope"
+    [ "ambient-random"; "unused-suppression" ]
+    (List.sort String.compare (rule_names findings))
+
 let test_parse_error_unsuppressible () =
   let findings, _ = audit [ pragma "poly-compare"; "let = =" ] in
   Alcotest.(check bool)
@@ -189,6 +232,183 @@ let test_parse_error_unsuppressible () =
           (Lint.Severity.to_string f.Detlint.Finding.severity))
     findings
 
+(* --- typed tier: in-process fixtures ------------------------------------- *)
+
+(* Each fixture is typechecked against the installed stdlib by
+   {!Detlint.Typed.fixture}, then audited with the typed tier active — the
+   same path the runner takes for a source whose cmt is in the index. *)
+let typed_audit lines =
+  let text = String.concat "\n" lines in
+  let path = "typed_fixture.ml" in
+  match Detlint.Typed.fixture ~path text with
+  | Error msg -> Alcotest.failf "fixture does not typecheck: %s" msg
+  | Ok tsrc ->
+      Detlint.Runner.check_source ~typed:tsrc (Detlint.Source.of_string ~path text)
+
+let check_typed name expected lines =
+  let findings, _ = typed_audit lines in
+  Alcotest.(check (list string)) name expected (rule_names findings)
+
+(* The race matrix: every escape-analysis verdict the pool/metrics/service
+   designs rely on, each fixture tripped (or cleared) by exactly the
+   unguarded-shared-mutation rule. *)
+let test_race_matrix () =
+  check_typed "unguarded captured ref -> finding"
+    [ "unguarded-shared-mutation" ]
+    [
+      "let go () =";
+      "  let c = ref 0 in";
+      "  let d = Domain.spawn (fun () -> incr c) in";
+      "  Domain.join d;";
+      "  !c";
+    ];
+  check_typed "mutex-guarded on both sides -> clean" []
+    [
+      "let go () =";
+      "  let c = ref 0 in";
+      "  let m = Mutex.create () in";
+      "  let d = Domain.spawn (fun () -> Mutex.protect m (fun () -> incr c)) in";
+      "  Mutex.protect m (fun () -> incr c);";
+      "  Domain.join d;";
+      "  !c";
+    ];
+  check_typed "atomic on both sides -> clean" []
+    [
+      "let go () =";
+      "  let c = Atomic.make 0 in";
+      "  let d = Domain.spawn (fun () -> Atomic.incr c) in";
+      "  Atomic.incr c;";
+      "  Domain.join d;";
+      "  Atomic.get c";
+    ];
+  check_typed "pre-spawn-only mutation -> clean" []
+    [
+      "let go () =";
+      "  let c = ref 0 in";
+      "  c := 41;";
+      "  let d = Domain.spawn (fun () -> !c + 1) in";
+      "  Domain.join d";
+    ];
+  check_typed "post-spawn write to captured state -> finding"
+    [ "unguarded-shared-mutation" ]
+    [
+      "let go () =";
+      "  let c = ref 0 in";
+      "  let d = Domain.spawn (fun () -> !c) in";
+      "  c := 1;";
+      "  Domain.join d";
+    ]
+
+(* The escape analysis is interprocedural within the indexed set: a mutation
+   reached through a helper is charged to the spawn site that captures the
+   state, and a helper that synchronises properly clears it. *)
+let test_race_interprocedural () =
+  check_typed "mutation via helper -> finding"
+    [ "unguarded-shared-mutation" ]
+    [
+      "let bump r = incr r";
+      "let go () =";
+      "  let c = ref 0 in";
+      "  let d = Domain.spawn (fun () -> bump c) in";
+      "  Domain.join d;";
+      "  !c";
+    ];
+  check_typed "atomic helper -> clean" []
+    [
+      "let bump r = Atomic.incr r";
+      "let go () =";
+      "  let c = Atomic.make 0 in";
+      "  let d = Domain.spawn (fun () -> bump c) in";
+      "  Domain.join d;";
+      "  Atomic.get c";
+    ]
+
+let test_purity_contracts () =
+  check_typed "mutating global state -> finding"
+    [ "purity-contract" ]
+    [ "let counter = ref 0"; "let[@detlint.pure] f x = incr counter; x + 1" ];
+  check_typed "mutating an argument -> finding"
+    [ "purity-contract" ]
+    [ "let[@detlint.pure] f r = r := 1" ];
+  check_typed "fresh local state -> clean" []
+    [
+      "let[@detlint.pure] sum n =";
+      "  let acc = ref 0 in";
+      "  for i = 1 to n do acc := !acc + i done;";
+      "  !acc";
+    ];
+  (* A lock does not purify: the guarded write is still an effect. *)
+  check_typed "mutex-guarded write -> still a finding"
+    [ "purity-contract" ]
+    [
+      "let m = Mutex.create ()";
+      "let total = ref 0";
+      "let[@detlint.pure] add x = Mutex.protect m (fun () -> total := !total + x)";
+    ];
+  check_typed "mutation via helper -> finding"
+    [ "purity-contract" ]
+    [
+      "let bump r = r := !r + 1";
+      "let total = ref 0";
+      "let[@detlint.pure] f x = bump total; x";
+    ];
+  (* An ambient read trips both tiers: the untyped ambient-time rule and the
+     contract — same source line, two findings. *)
+  check_typed "ambient clock read -> finding"
+    [ "ambient-time"; "purity-contract" ]
+    [ "let[@detlint.pure] now () = Sys.time ()" ]
+
+(* Type-proved poly-compare: the typed tier eliminates the untyped rule's
+   false positives (int comparisons) while catching what no token scan can
+   see (a float buried in a record, a closure inside an option). *)
+let test_typed_poly_compare () =
+  check_typed "compare over int list -> proved safe, clean" []
+    [ "let xs = List.sort compare [ 3; 1; 2 ]" ];
+  check_typed "compare over float list -> finding"
+    [ "poly-compare" ]
+    [ "let xs = List.sort compare [ 2.0; 1.0 ]" ];
+  check_typed "float buried in a record -> finding"
+    [ "poly-compare" ]
+    [ "type r = { x : float }"; "let cmp (a : r) (b : r) = compare a b" ];
+  check_typed "(=) on functions -> finding"
+    [ "poly-compare" ]
+    [ "let f (g : int -> int) h = g = h" ];
+  (* Primitive float *ordering* is a deterministic total function (nan
+     answers false consistently); only [compare]'s total-order contract
+     breaks on nan.  The classifier keeps the two modes apart. *)
+  check_typed "(=) on floats -> ordering mode, clean" []
+    [ "let f (a : float) b = a = b" ];
+  (* A compare alias left polymorphic cannot be proved; annotating the site
+     is the fix — exactly the zoo.ml pattern this PR converted. *)
+  check_typed "generalized compare alias -> undecidable, finding"
+    [ "poly-compare" ]
+    [ "let mycmp = compare" ];
+  check_typed "annotated compare alias -> proved safe, clean" []
+    [ "let mycmp : int -> int -> int = compare" ];
+  (* Set.Make over a float element type orders nan into the tree shape. *)
+  check_typed "Set.Make over float elements -> finding"
+    [ "poly-compare" ]
+    [ "module S = Set.Make (struct type t = float let compare = Float.compare end)" ];
+  check_typed "Set.Make over int elements -> clean" []
+    [ "module S = Set.Make (struct type t = int let compare = Int.compare end)" ]
+
+(* The untyped source pragmas govern the typed tier too: same rule names,
+   same suppression machinery, whichever tier produced the finding. *)
+let test_pragma_governs_typed_findings () =
+  let text =
+    String.concat "\n"
+      [ pragma "poly-compare"; "let xs = List.sort compare [ 2.0; 1.0 ]" ]
+  in
+  let path = "typed_fixture.ml" in
+  match Detlint.Typed.fixture ~path text with
+  | Error msg -> Alcotest.failf "fixture does not typecheck: %s" msg
+  | Ok tsrc ->
+      let findings, sups =
+        Detlint.Runner.check_source ~typed:tsrc (Detlint.Source.of_string ~path text)
+      in
+      Alcotest.(check (list string)) "typed finding silenced" [] (rule_names findings);
+      Alcotest.(check int) "suppression used" 1 (List.hd sups).Detlint.Report.used
+
 (* Under [dune runtest] the working directory is [_build/default/test]; under
    [dune exec] from the checkout root it is the root itself.  Resolve
    root-relative paths against both. *)
@@ -198,59 +418,34 @@ let locate p =
     let up = Filename.concat ".." p in
     if Sys.file_exists up then up else p
 
-(* Satellite of the zoo poly-compare suppressions: the message types those
-   pragmas vouch for must stay float-free, or the structural order the
-   comparators rely on stops being total.  Walks every type declaration in
-   the vouched-for files and rejects any [float] / [Float.t] constructor. *)
-let float_free_files =
-  List.map locate [ "lib/flp/zoo.ml"; "lib/flp/value.ml"; "test/test_lint.ml" ]
+(* The cmt trees live under the dune context root; probe the spellings the
+   two working directories produce. *)
+let cmt_root () =
+  List.find_opt
+    (fun d -> Sys.file_exists (Filename.concat d "lib/detlint/.detlint.objs"))
+    [ "_build/default"; ".."; Filename.concat ".." "_build/default" ]
 
-let test_msg_types_float_free () =
-  List.iter
-    (fun path ->
-      match Detlint.Source.load path with
-      | Error msg -> Alcotest.failf "cannot load %s: %s" path msg
-      | Ok src -> (
-          match src.Detlint.Source.ast with
-          | Error (msg, _) -> Alcotest.failf "%s does not parse: %s" path msg
-          | Ok ast ->
-              let hits = ref [] in
-              let in_decl = ref false in
-              let typ self (t : Parsetree.core_type) =
-                (if !in_decl then
-                   match t.Parsetree.ptyp_desc with
-                   | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, _)
-                   | Ptyp_constr
-                       ({ txt = Longident.Ldot (Longident.Lident "Float", "t"); _ }, _)
-                     ->
-                       hits := t.Parsetree.ptyp_loc.Location.loc_start.Lexing.pos_lnum :: !hits
-                   | _ -> ());
-                Ast_iterator.default_iterator.typ self t
-              in
-              let type_declaration self decl =
-                in_decl := true;
-                Ast_iterator.default_iterator.type_declaration self decl;
-                in_decl := false
-              in
-              let it = { Ast_iterator.default_iterator with typ; type_declaration } in
-              it.structure it ast;
-              Alcotest.(check (list int))
-                (path ^ " type declarations are float-free")
-                [] (List.rev !hits)))
-    float_free_files
+let require_cmt_root () =
+  match cmt_root () with
+  | Some d -> d
+  | None -> Alcotest.fail "no cmt directory found (run dune build first)"
 
 (* The acceptance gate, from inside the test suite: this repository's own
-   tree is detlint-clean, every suppression carries a written reason, and
-   the report is byte-identical at --jobs 1 and --jobs 4. *)
+   tree is typed-detlint-clean with every compilation unit on the typed
+   tier, every suppression carries a written reason, and the report is
+   byte-identical at --jobs 1 and --jobs 4.  (The *untyped* full-tree audit
+   is deliberately not clean any more: zoo.ml's annotated [Stdlib.compare]
+   aliases are exactly what the typed tier proves and the token scan
+   cannot — its only remaining guarantee is determinism.) *)
 let self_audit_roots = List.map locate [ "lib"; "bin"; "test" ]
 
-let run_self_audit ~jobs =
-  match Detlint.Runner.run ~jobs self_audit_roots with
+let run_self_audit ?cmt_dir ~jobs () =
+  match Detlint.Runner.run ?cmt_dir ~jobs self_audit_roots with
   | Ok report -> report
   | Error msg -> Alcotest.failf "self-audit failed to run: %s" msg
 
 let test_self_audit_clean () =
-  let report = run_self_audit ~jobs:1 in
+  let report = run_self_audit ~cmt_dir:(require_cmt_root ()) ~jobs:1 () in
   Alcotest.(check bool) "scanned files" true (report.Detlint.Report.files > 0);
   List.iter
     (fun (f : Detlint.Finding.t) ->
@@ -258,6 +453,8 @@ let test_self_audit_clean () =
         f.Detlint.Finding.line f.Detlint.Finding.rule f.Detlint.Finding.message)
     report.Detlint.Report.findings;
   Alcotest.(check int) "exit code" 0 (Detlint.Runner.exit_code report);
+  Alcotest.(check int) "every source audited on the typed tier"
+    report.Detlint.Report.files report.Detlint.Report.typed_files;
   Alcotest.(check bool)
     "suppressions present" true
     (report.Detlint.Report.suppressions <> []);
@@ -271,14 +468,54 @@ let test_self_audit_clean () =
     report.Detlint.Report.suppressions
 
 let test_self_audit_jobs_invariant () =
-  let r1 = run_self_audit ~jobs:1 in
-  let r4 = run_self_audit ~jobs:4 in
+  let r1 = run_self_audit ~jobs:1 () in
+  let r4 = run_self_audit ~jobs:4 () in
   Alcotest.(check string)
     "JSON byte-identical across --jobs"
     (Flp_json.to_string (Detlint.Report.to_json r1))
     (Flp_json.to_string (Detlint.Report.to_json r4));
   Alcotest.(check string)
     "rendering byte-identical across --jobs"
+    (Format.asprintf "%a" Detlint.Report.pp r1)
+    (Format.asprintf "%a" Detlint.Report.pp r4)
+
+(* The typed acceptance gate: every library source audits on the typed tier
+   (their cmts are build dependencies of this very suite), the tree stays
+   clean, and no poly-compare suppression survives anywhere — the typed
+   classifier now *proves* the sites the old pragmas merely vouched for. *)
+let test_typed_self_audit_lib () =
+  let cmt_dir = require_cmt_root () in
+  match Detlint.Runner.run ~cmt_dir [ locate "lib" ] with
+  | Error msg -> Alcotest.failf "typed self-audit failed: %s" msg
+  | Ok report ->
+      Alcotest.(check bool) "typed pass ran" true report.Detlint.Report.typed;
+      List.iter
+        (fun (f : Detlint.Finding.t) ->
+          Alcotest.failf "lib not typed-clean: %s:%d %s — %s" f.Detlint.Finding.file
+            f.Detlint.Finding.line f.Detlint.Finding.rule f.Detlint.Finding.message)
+        report.Detlint.Report.findings;
+      Alcotest.(check int) "every lib source audited on the typed tier"
+        report.Detlint.Report.files report.Detlint.Report.typed_files;
+      List.iter
+        (fun (s : Detlint.Report.suppression) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s:%d is not a poly-compare suppression"
+               s.Detlint.Report.file s.Detlint.Report.line)
+            true
+            (s.Detlint.Report.rule <> "poly-compare"))
+        report.Detlint.Report.suppressions
+
+let test_typed_jobs_invariant () =
+  let cmt_dir = require_cmt_root () in
+  let r1 = run_self_audit ~cmt_dir ~jobs:1 () in
+  let r4 = run_self_audit ~cmt_dir ~jobs:4 () in
+  Alcotest.(check int) "typed report exit code" 0 (Detlint.Runner.exit_code r1);
+  Alcotest.(check string)
+    "typed JSON byte-identical across --jobs"
+    (Flp_json.to_string (Detlint.Report.to_json r1))
+    (Flp_json.to_string (Detlint.Report.to_json r4));
+  Alcotest.(check string)
+    "typed rendering byte-identical across --jobs"
     (Format.asprintf "%a" Detlint.Report.pp r1)
     (Format.asprintf "%a" Detlint.Report.pp r4)
 
@@ -291,24 +528,36 @@ let () =
             test_each_rule_fires;
           Alcotest.test_case "own pragma silences" `Quick test_own_pragma_silences;
           Alcotest.test_case "other pragma is inert" `Quick test_other_pragma_is_inert;
+          Alcotest.test_case "atomic-rmw negatives" `Quick test_atomic_rmw_negatives;
         ] );
       ( "suppressions",
         [
           Alcotest.test_case "bad suppressions are errors" `Quick test_bad_suppression;
           Alcotest.test_case "attribute forms" `Quick test_attribute_suppressions;
+          Alcotest.test_case "pragma covers next significant line" `Quick
+            test_pragma_scope;
           Alcotest.test_case "parse error unsuppressible" `Quick
             test_parse_error_unsuppressible;
           Alcotest.test_case "stale suppressions warned" `Quick
             test_unused_suppression;
         ] );
-      ( "regressions",
+      ( "typed",
         [
-          Alcotest.test_case "msg types float-free" `Quick test_msg_types_float_free;
+          Alcotest.test_case "race matrix" `Quick test_race_matrix;
+          Alcotest.test_case "interprocedural races" `Quick test_race_interprocedural;
+          Alcotest.test_case "purity contracts" `Quick test_purity_contracts;
+          Alcotest.test_case "type-proved poly-compare" `Quick test_typed_poly_compare;
+          Alcotest.test_case "pragmas govern typed findings" `Quick
+            test_pragma_governs_typed_findings;
         ] );
       ( "self-audit",
         [
-          Alcotest.test_case "repo tree clean" `Quick test_self_audit_clean;
-          Alcotest.test_case "jobs-invariant report" `Quick
+          Alcotest.test_case "repo tree typed-clean" `Quick test_self_audit_clean;
+          Alcotest.test_case "untyped jobs-invariant report" `Quick
             test_self_audit_jobs_invariant;
+          Alcotest.test_case "typed lib audit clean and fully covered" `Quick
+            test_typed_self_audit_lib;
+          Alcotest.test_case "typed jobs-invariant report" `Quick
+            test_typed_jobs_invariant;
         ] );
     ]

@@ -282,8 +282,7 @@ module Unannotated = struct
 
   let pp_state ppf st = Format.fprintf ppf "%a" Value.pp st.x
 
-  (* detlint: allow poly-compare -- msg is a nullary constant constructor *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 

@@ -31,8 +31,7 @@ module Output_mutator = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a steps=%d}" Value.pp st.x st.steps
 
-  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -66,8 +65,7 @@ module Hash_incoherent = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a noise=%d}" Value.pp st.x st.noise
 
-  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -100,8 +98,7 @@ module Wild_sender = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a sent=%b}" Value.pp st.x st.sent
 
-  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -137,8 +134,7 @@ module Flaky = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a mark=%b}" Value.pp st.x st.mark
 
-  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 
@@ -174,8 +170,7 @@ module Narrow_footprint = struct
 
   let pp_state ppf st = Format.fprintf ppf "{x=%a sent=%b}" Value.pp st.x st.sent
 
-  (* detlint: allow poly-compare -- deliberately broken fixture protocol; its msg type is a float-free variant *)
-  let compare_msg = Stdlib.compare
+  let compare_msg : msg -> msg -> int = Stdlib.compare
 
   let hash_msg = Hashtbl.hash
 

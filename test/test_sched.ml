@@ -85,7 +85,7 @@ let test_pinned_default () =
 let test_oblivious_factory_is_none () =
   Alcotest.(check bool)
     "factory Oblivious = None" true
-    (Sched.Policy.factory Sched.Spec.Oblivious = None)
+    (Option.is_none (Sched.Policy.factory Sched.Spec.Oblivious))
 
 (* ...and the table-served oblivious policy replays the same schedule
    bit-for-bit, so either path is the same adversary. *)
